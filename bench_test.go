@@ -1,0 +1,243 @@
+package costdist
+
+// The benchmark harness regenerates every table and figure of the
+// paper's evaluation (at reduced scale — raise -scale in cmd/benchtables
+// for bigger runs) and measures the building blocks:
+//
+//	BenchmarkTableI / II       — instance comparison harness (Tables I/II)
+//	BenchmarkTableIII          — chip inventory (Table III)
+//	BenchmarkTableIV / V       — global routing flow (Tables IV/V)
+//	BenchmarkFigure1/2/3       — figure regeneration
+//	BenchmarkCDSolve*          — the core algorithm per instance size
+//	BenchmarkBaseline*         — topology+embedding baselines
+//	BenchmarkCDScaling*        — Theorem 1 runtime scaling in n and t
+//	BenchmarkAblation*         — §III enhancement on/off (DESIGN.md §4)
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+
+	"costdist/internal/core"
+	"costdist/internal/router"
+	"costdist/internal/tables"
+)
+
+// benchInstances builds deterministic instances with the Lagrangean-like
+// weight profile on a congested graph.
+func benchInstances(nx int32, layers, sinks, n int, dbif float64) []*Instance {
+	tech := DefaultTech(layers)
+	g := NewGrid(nx, nx, BuildLayers(tech), tech.GCellUM)
+	c := NewCosts(g)
+	rng := rand.New(rand.NewPCG(11, 23))
+	for i := range c.Mult {
+		if rng.IntN(3) == 0 {
+			c.Mult[i] = 1 + 6*rng.Float32()
+		}
+	}
+	out := make([]*Instance, n)
+	for i := range out {
+		in := &Instance{
+			G: g, C: c,
+			Root: g.At(rng.Int32N(nx), rng.Int32N(nx), 0),
+			DBif: dbif, Eta: 0.25, Seed: uint64(i),
+		}
+		for s := 0; s < sinks; s++ {
+			w := 0.0005 * rng.Float64()
+			if rng.IntN(5) == 0 {
+				w = 0.01 + 0.05*rng.Float64()
+			}
+			in.Sinks = append(in.Sinks, Sink{V: g.At(rng.Int32N(nx), rng.Int32N(nx), 0), W: w})
+		}
+		in.Win = in.DefaultWindow(6)
+		out[i] = in
+	}
+	return out
+}
+
+func benchSolve(b *testing.B, ins []*Instance, opt CDOptions) {
+	b.Helper()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveCD(ins[i%len(ins)], opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCDSolveT4(b *testing.B) {
+	benchSolve(b, benchInstances(32, 5, 4, 32, 4), DefaultCDOptions())
+}
+
+func BenchmarkCDSolveT16(b *testing.B) {
+	benchSolve(b, benchInstances(32, 5, 16, 16, 4), DefaultCDOptions())
+}
+
+func BenchmarkCDSolveT64(b *testing.B) {
+	benchSolve(b, benchInstances(48, 5, 64, 8, 4), DefaultCDOptions())
+}
+
+func benchBaseline(b *testing.B, m Method, sinks int) {
+	b.Helper()
+	ins := benchInstances(32, 5, sinks, 16, 4)
+	opt := DefaultRouterOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(ins[i%len(ins)], m, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBaselineL1T16(b *testing.B) { benchBaseline(b, L1, 16) }
+func BenchmarkBaselineSLT16(b *testing.B) { benchBaseline(b, SL, 16) }
+func BenchmarkBaselinePDT16(b *testing.B) { benchBaseline(b, PD, 16) }
+
+// Theorem 1 scaling: runtime vs graph size at fixed t.
+func BenchmarkCDScalingGrid(b *testing.B) {
+	for _, nx := range []int32{16, 32, 64} {
+		b.Run(fmt.Sprintf("nx%d", nx), func(b *testing.B) {
+			benchSolve(b, benchInstances(nx, 5, 8, 8, 4), DefaultCDOptions())
+		})
+	}
+}
+
+// Theorem 1 scaling: runtime vs terminal count at fixed graph.
+func BenchmarkCDScalingSinks(b *testing.B) {
+	for _, t := range []int{4, 8, 16, 32, 64} {
+		b.Run(fmt.Sprintf("t%d", t), func(b *testing.B) {
+			benchSolve(b, benchInstances(40, 5, t, 8, 4), DefaultCDOptions())
+		})
+	}
+}
+
+// Ablations of the §III enhancements (quality deltas are reported by
+// the tables harness; these measure runtime).
+func BenchmarkAblation(b *testing.B) {
+	variants := []struct {
+		name string
+		opt  core.Options
+	}{
+		{"default", core.DefaultOptions()},
+		{"noDiscount", func() core.Options { o := core.DefaultOptions(); o.Discount = false; return o }()},
+		{"flatHeap", func() core.Options { o := core.DefaultOptions(); o.FlatHeap = true; return o }()},
+		{"aStar", func() core.Options { o := core.DefaultOptions(); o.AStar = true; o.AStarMaxTargets = 24; return o }()},
+		{"noImprove", func() core.Options { o := core.DefaultOptions(); o.ImproveSteiner = false; return o }()},
+		{"noRootBonus", func() core.Options { o := core.DefaultOptions(); o.RootBonus = false; return o }()},
+		{"plainSectionII", core.Options{}},
+	}
+	ins := benchInstances(32, 5, 24, 12, 4)
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) { benchSolve(b, ins, v.opt) })
+	}
+}
+
+func BenchmarkEvaluate(b *testing.B) {
+	ins := benchInstances(32, 5, 16, 8, 4)
+	trs := make([]*Tree, len(ins))
+	for i, in := range ins {
+		tr, err := SolveCD(in, DefaultCDOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		trs[i] = tr
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Evaluate(ins[i%len(ins)], trs[i%len(ins)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchCfg() tables.Config {
+	return tables.Config{Scale: 0.0008, Chips: []int{0}, Waves: 2, Threads: 0, Seed: 7}
+}
+
+func BenchmarkTableI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := tables.InstanceComparison(benchCfg(), false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rows[len(rows)-1].Instances == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkTableII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := tables.InstanceComparison(benchCfg(), true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rows[len(rows)-1].Instances == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkTableIII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if rows := tables.TableIII(tables.Config{Scale: 1}); len(rows) != 8 {
+			b.Fatal("bad table III")
+		}
+	}
+}
+
+func BenchmarkTableIV(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := tables.GlobalRouting(benchCfg(), false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTableV(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := tables.GlobalRouting(benchCfg(), true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, _, _, err := tables.Figure1(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if svg := tables.Figure2(0.25); len(svg) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+func BenchmarkFigure3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := tables.Figure3(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRouteChipCD(b *testing.B) {
+	spec := ChipSuite(0.0012)[0]
+	chip, err := GenerateChip(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := router.DefaultOptions()
+	opt.Waves = 2
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RouteChip(chip, CD, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

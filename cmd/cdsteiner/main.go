@@ -1,0 +1,100 @@
+// Command cdsteiner solves a single cost-distance Steiner tree instance
+// read from a JSON file (see costdist.InstanceJSON for the schema) with
+// any of the four algorithms, prints the objective decomposition and
+// optionally writes the tree as JSON and/or SVG.
+//
+// Usage:
+//
+//	cdsteiner -in instance.json [-method CD|L1|SL|PD] [-out tree.json] [-svg tree.svg]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"costdist"
+)
+
+func main() {
+	inPath := flag.String("in", "", "instance JSON file (required)")
+	method := flag.String("method", "CD", "algorithm: CD, L1, SL or PD")
+	outPath := flag.String("out", "", "write solved tree JSON here")
+	svgPath := flag.String("svg", "", "write tree SVG here")
+	compare := flag.Bool("compare", false, "run all four algorithms and print a comparison")
+	flag.Parse()
+
+	if *inPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(*inPath)
+	if err != nil {
+		fatal(err)
+	}
+	in, err := costdist.ParseInstance(data)
+	if err != nil {
+		fatal(err)
+	}
+
+	methods := map[string]costdist.Method{
+		"CD": costdist.CD, "L1": costdist.L1, "SL": costdist.SL, "PD": costdist.PD,
+	}
+	if *compare {
+		fmt.Printf("%-4s %12s %12s %12s %6s %6s\n", "alg", "total", "congestion", "delay", "wires", "vias")
+		for _, name := range []string{"L1", "SL", "PD", "CD"} {
+			tr, err := costdist.Solve(in, methods[name], costdist.DefaultRouterOptions())
+			if err != nil {
+				fatal(fmt.Errorf("%s: %w", name, err))
+			}
+			ev, err := costdist.Evaluate(in, tr)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%-4s %12.3f %12.3f %12.3f %6d %6d\n",
+				name, ev.Total, ev.CongCost, ev.DelayCost, ev.WireSteps, ev.Vias)
+		}
+		return
+	}
+
+	m, ok := methods[strings.ToUpper(*method)]
+	if !ok {
+		fatal(fmt.Errorf("unknown method %q", *method))
+	}
+	tr, err := costdist.Solve(in, m, costdist.DefaultRouterOptions())
+	if err != nil {
+		fatal(err)
+	}
+	ev, err := costdist.Evaluate(in, tr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("method      %s\n", strings.ToUpper(*method))
+	fmt.Printf("objective   %.4f\n", ev.Total)
+	fmt.Printf("congestion  %.4f\n", ev.CongCost)
+	fmt.Printf("delay cost  %.4f\n", ev.DelayCost)
+	fmt.Printf("wires/vias  %d/%d\n", ev.WireSteps, ev.Vias)
+	for i, d := range ev.SinkDelay {
+		fmt.Printf("sink %-3d    %.2f ps (w=%.4g)\n", i, d, in.Sinks[i].W)
+	}
+	if *outPath != "" {
+		out, err := costdist.MarshalTree(in, tr)
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*outPath, out, 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	if *svgPath != "" {
+		if err := os.WriteFile(*svgPath, []byte(costdist.RenderTree(in, tr, 16)), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cdsteiner:", err)
+	os.Exit(1)
+}

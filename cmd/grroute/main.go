@@ -1,0 +1,71 @@
+// Command grroute runs timing-constrained global routing on one chip of
+// the synthetic c1..c8 suite (paper Table III) with a selectable Steiner
+// tree oracle and prints the Tables IV/V metric row.
+//
+// Usage:
+//
+//	grroute -chip c3 -method CD -scale 0.01 -waves 4 [-dbif=0] [-threads 16]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"costdist"
+)
+
+func main() {
+	chipName := flag.String("chip", "c1", "chip name c1..c8")
+	method := flag.String("method", "CD", "oracle: CD, L1, SL or PD")
+	scale := flag.Float64("scale", 0.01, "net count scale vs the paper (1.0 = full)")
+	waves := flag.Int("waves", 4, "rip-up-and-reroute waves")
+	threads := flag.Int("threads", 0, "routing workers (0 = all cores)")
+	dbif := flag.Float64("dbif", -1, "bifurcation penalty ps (-1: derive from technology, 0: off)")
+	seed := flag.Uint64("seed", 1, "random seed")
+	flag.Parse()
+
+	specs := costdist.ChipSuite(*scale)
+	var spec *costdist.ChipSpec
+	for i := range specs {
+		if specs[i].Name == *chipName {
+			spec = &specs[i]
+		}
+	}
+	if spec == nil {
+		fatal(fmt.Errorf("unknown chip %q (want c1..c8)", *chipName))
+	}
+	methods := map[string]costdist.Method{
+		"CD": costdist.CD, "L1": costdist.L1, "SL": costdist.SL, "PD": costdist.PD,
+	}
+	m, ok := methods[strings.ToUpper(*method)]
+	if !ok {
+		fatal(fmt.Errorf("unknown method %q", *method))
+	}
+
+	chip, err := costdist.GenerateChip(*spec)
+	if err != nil {
+		fatal(err)
+	}
+	opt := costdist.DefaultRouterOptions()
+	opt.Waves = *waves
+	opt.Threads = *threads
+	opt.DBif = *dbif
+	opt.Seed = *seed
+
+	fmt.Printf("chip %s: %d nets, %d layers, clk %.0f ps, dbif %.3f ps\n",
+		spec.Name, spec.NNets, spec.Layers, chip.ClkPeriod, chip.DBif)
+	res, err := costdist.RouteChip(chip, m, opt)
+	if err != nil {
+		fatal(err)
+	}
+	mt := res.Metrics
+	fmt.Printf("%-5s %-4s WS %8.0f ps  TNS %11.0f ps  ACE4 %6.2f%%  WL %9.4f m  Vias %9d  %s\n",
+		spec.Name, strings.ToUpper(*method), mt.WS, mt.TNS, mt.ACE4, mt.WLm, mt.Vias, mt.Walltime.Round(1e6))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "grroute:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,184 @@
+// Package costdist is a production-oriented implementation of
+// cost-distance Steiner trees for timing-constrained global routing,
+// reproducing Held & Perner, "Cost-Distance Steiner Trees for
+// Timing-Constrained Global Routing" (DAC 2025, arXiv:2503.04419).
+//
+// The library provides:
+//
+//   - a 3D global routing graph with layers, wire types and vias and a
+//     linear (buffered-wire) delay model, including the technology-derived
+//     bifurcation penalty dbif;
+//   - the paper's fast randomized O(log t)-approximation algorithm for
+//     cost-distance Steiner trees with bifurcation penalties, including
+//     all practical enhancements of §III (SolveCD);
+//   - the three baselines it is compared against — L1-shortest,
+//     shallow-light and Prim-Dijkstra topologies, each embedded optimally
+//     into the routing graph (Solve with methods L1/SL/PD);
+//   - an exact reference solver for small instances (SolveExact);
+//   - a timing-constrained global router with Lagrangean congestion and
+//     timing pricing (RouteChip), synthetic chip generation matching the
+//     paper's Table III (ChipSuite/GenerateChip), and the shared objective
+//     evaluator (Evaluate) used for all comparisons.
+//
+// Everything is deterministic given explicit seeds and uses only the
+// standard library.
+package costdist
+
+import (
+	"costdist/internal/buffering"
+	"costdist/internal/chipgen"
+	"costdist/internal/core"
+	"costdist/internal/dly"
+	"costdist/internal/exact"
+	"costdist/internal/geom"
+	"costdist/internal/grid"
+	"costdist/internal/nets"
+	"costdist/internal/router"
+	"costdist/internal/viz"
+)
+
+// Re-exported core types. The aliases make the internal implementation
+// packages usable through the public API without exposing their import
+// paths.
+type (
+	// Pt is a point in the gcell plane; Rect an inclusive rectangle.
+	Pt   = geom.Pt
+	Rect = geom.Rect
+
+	// Graph is the 3D global routing graph; Costs the congestion-priced
+	// view of its edge costs c(e) and delays d(e).
+	Graph    = grid.Graph
+	Costs    = grid.Costs
+	Layer    = grid.Layer
+	WireType = grid.WireType
+	Vertex   = grid.V
+	Arc      = grid.Arc
+
+	// Instance is one cost-distance Steiner tree problem; Tree an
+	// embedded Steiner tree; Evaluation the objective decomposition.
+	Instance   = nets.Instance
+	Sink       = nets.Sink
+	Tree       = nets.RTree
+	Step       = nets.Step
+	Evaluation = nets.Eval
+	PlaneTree  = nets.PlaneTree
+
+	// CDOptions selects the §III enhancements of the core algorithm;
+	// TraceEvent reports merges to trace callbacks.
+	CDOptions  = core.Options
+	TraceEvent = core.TraceEvent
+
+	// Method selects a Steiner oracle; RouterOptions and RouteMetrics
+	// configure and report full routing runs.
+	Method        = router.Method
+	RouterOptions = router.Options
+	RouteMetrics  = router.Metrics
+	RouteResult   = router.Result
+
+	// Chip is a generated design; ChipSpec its parameters; Tech the
+	// electrical technology behind the delay model.
+	Chip     = chipgen.Chip
+	ChipSpec = chipgen.Spec
+	Tech     = dly.Tech
+	Buffer   = dly.Buffer
+
+	// ExactResult carries the exact DP's certified bounds.
+	ExactResult = exact.Result
+
+	// BufferResult reports explicit repeater insertion on a tree.
+	BufferResult = buffering.Result
+)
+
+// The four Steiner tree algorithms of the paper's comparison (§IV-A).
+const (
+	L1 = router.L1
+	SL = router.SL
+	PD = router.PD
+	CD = router.CD
+)
+
+// NewGrid builds a routing graph of nx×ny gcells with the given layer
+// stack and physical gcell pitch in µm.
+func NewGrid(nx, ny int32, layers []Layer, gcellUM float64) *Graph {
+	return grid.New(nx, ny, layers, gcellUM)
+}
+
+// NewCosts returns a congestion-free cost view (all multipliers 1).
+func NewCosts(g *Graph) *Costs { return grid.NewCosts(g) }
+
+// DefaultTech returns the synthetic 5nm-flavoured technology with the
+// given number of routing layers; Dbif derives the bifurcation penalty
+// from its repeater chain model (paper §I).
+func DefaultTech(layers int) Tech { return dly.DefaultTech(layers) }
+
+// BuildLayers converts a technology into a grid layer stack.
+func BuildLayers(t Tech) []Layer { return t.BuildLayers() }
+
+// Dbif returns the technology's bifurcation delay penalty in ps.
+func Dbif(t Tech) float64 { return t.Dbif() }
+
+// DefaultCDOptions enables the enhancements used for the paper's "CD"
+// experiments.
+func DefaultCDOptions() CDOptions { return core.DefaultOptions() }
+
+// SolveCD runs the paper's cost-distance algorithm (Algorithm 1 plus
+// §III) on the instance.
+func SolveCD(in *Instance, opt CDOptions) (*Tree, error) {
+	return core.Solve(in, opt)
+}
+
+// SolveCDTraced is SolveCD with a per-merge callback (Figure 3 style).
+func SolveCDTraced(in *Instance, opt CDOptions, trace func(TraceEvent)) (*Tree, error) {
+	return core.SolveTraced(in, opt, trace)
+}
+
+// Solve runs any of the four algorithms standalone on an instance.
+func Solve(in *Instance, m Method, opt RouterOptions) (*Tree, error) {
+	return router.SolveNet(in, m, opt)
+}
+
+// SolveExact solves a small instance optimally (Dreyfus-Wagner-style
+// DP); see ExactResult for the bound semantics.
+func SolveExact(in *Instance) (*ExactResult, error) { return exact.Solve(in) }
+
+// Evaluate scores an embedded tree under objective (1) with the
+// bifurcation delay model (3); all algorithms are compared through this
+// single function.
+func Evaluate(in *Instance, tr *Tree) (*Evaluation, error) {
+	return nets.Evaluate(in, tr)
+}
+
+// DefaultRouterOptions mirrors the paper's routing setup.
+func DefaultRouterOptions() RouterOptions { return router.DefaultOptions() }
+
+// RouteChip runs the full timing-constrained global routing flow on a
+// chip with the selected Steiner oracle.
+func RouteChip(chip *Chip, m Method, opt RouterOptions) (*RouteResult, error) {
+	return router.Route(chip, m, opt)
+}
+
+// ChipSuite returns the c1..c8 specs of Table III with net counts
+// scaled by scale (1.0 = paper size; layer counts always exact).
+func ChipSuite(scale float64) []ChipSpec { return chipgen.Suite(scale) }
+
+// GenerateChip builds a synthetic design from a spec.
+func GenerateChip(spec ChipSpec) (*Chip, error) { return chipgen.Generate(spec) }
+
+// BufferTree inserts repeaters along an embedded tree at the optimal
+// spacing of each wire and returns stage-accurate Elmore delays next to
+// the linear-model prediction — the "after buffering" view that the
+// linear delay model and dbif approximate (paper §I, Figure 2).
+func BufferTree(in *Instance, tr *Tree, tech Tech) (*BufferResult, error) {
+	return buffering.Buffer(in, tr, tech)
+}
+
+// RenderTree renders an embedded tree as an SVG (plane projection,
+// layer-colored).
+func RenderTree(in *Instance, tr *Tree, cellPx float64) string {
+	return viz.RenderTree(in, tr, cellPx)
+}
+
+// RenderTraceFrames renders one SVG frame per merge of a traced CD run.
+func RenderTraceFrames(in *Instance, events []TraceEvent, cellPx float64) []string {
+	return viz.RenderTraceFrames(in, events, cellPx)
+}

@@ -1,0 +1,172 @@
+package costdist
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	tech := DefaultTech(6)
+	g := NewGrid(24, 24, BuildLayers(tech), tech.GCellUM)
+	in := &Instance{
+		G: g, C: NewCosts(g),
+		Root: g.At(2, 2, 0),
+		Sinks: []Sink{
+			{V: g.At(20, 4, 0), W: 0.02},
+			{V: g.At(18, 19, 0), W: 0.002},
+			{V: g.At(5, 17, 0), W: 0},
+		},
+		DBif: Dbif(tech), Eta: 0.25, Seed: 1,
+	}
+	in.Win = in.DefaultWindow(6)
+
+	tr, err := SolveCD(in, DefaultCDOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := Evaluate(in, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Total <= 0 || len(ev.SinkDelay) != 3 {
+		t.Fatalf("evaluation %+v", ev)
+	}
+	for _, m := range []Method{L1, SL, PD} {
+		tr2, err := Solve(in, m, DefaultRouterOptions())
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if _, err := Evaluate(in, tr2); err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+	}
+	svg := RenderTree(in, tr, 12)
+	if !strings.HasPrefix(svg, "<svg") {
+		t.Fatal("render failed")
+	}
+}
+
+func TestExactThroughFacade(t *testing.T) {
+	tech := DefaultTech(3)
+	g := NewGrid(8, 8, BuildLayers(tech), tech.GCellUM)
+	in := &Instance{
+		G: g, C: NewCosts(g),
+		Root:  g.At(0, 0, 0),
+		Sinks: []Sink{{V: g.At(5, 5, 0), W: 0.01}, {V: g.At(2, 6, 0), W: 0.02}},
+		Win:   g.FullWindow(),
+	}
+	ex, err := SolveExact(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := SolveCD(in, DefaultCDOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := Evaluate(in, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Total < ex.LowerBound-1e-9 {
+		t.Fatalf("CD %v below exact bound %v", ev.Total, ex.LowerBound)
+	}
+}
+
+func TestParseInstanceAndMarshalTree(t *testing.T) {
+	data := []byte(`{
+		"nx": 16, "ny": 16, "layers": 4,
+		"root": [1, 1, 0],
+		"sinks": [
+			{"x": 12, "y": 3, "l": 0, "w": 0.05},
+			{"x": 9, "y": 13, "l": 0, "w": 0.001}
+		],
+		"dbif": -1,
+		"congestion": [{"x0": 5, "y0": 0, "x1": 6, "y1": 15, "l": 0, "mult": 10}]
+	}`)
+	in, err := ParseInstance(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.DBif <= 0 {
+		t.Fatal("dbif not derived")
+	}
+	if in.Eta != 0.25 {
+		t.Fatalf("eta default %v", in.Eta)
+	}
+	// The congestion wall must be visible in the costs.
+	seg := in.G.SegH(0, 7, 5)
+	if in.C.Mult[seg] != 10 {
+		t.Fatalf("congestion rect not applied: %v", in.C.Mult[seg])
+	}
+	tr, err := SolveCD(in, DefaultCDOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := MarshalTree(in, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"total", "sink_delay_ps", "edges"} {
+		if !strings.Contains(string(out), want) {
+			t.Fatalf("marshal missing %q", want)
+		}
+	}
+}
+
+func TestParseInstanceErrors(t *testing.T) {
+	cases := []string{
+		`{`, // malformed
+		`{"nx": 1, "ny": 8, "layers": 4, "root": [0,0,0]}`,                                              // tiny grid
+		`{"nx": 8, "ny": 8, "layers": 4, "root": [9,0,0]}`,                                              // root outside
+		`{"nx": 8, "ny": 8, "layers": 4, "root": [0,0,0], "sinks": [{"x": 8, "y": 0, "l": 0, "w": 1}]}`, // sink outside
+	}
+	for i, c := range cases {
+		if _, err := ParseInstance([]byte(c)); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}
+
+func TestChipFlowThroughFacade(t *testing.T) {
+	specs := ChipSuite(0.0012)
+	if len(specs) != 8 {
+		t.Fatal("suite size")
+	}
+	chip, err := GenerateChip(specs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := DefaultRouterOptions()
+	opt.Waves = 2
+	opt.Threads = 2
+	res, err := RouteChip(chip, CD, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.WLm <= 0 || math.IsNaN(res.Metrics.ACE4) {
+		t.Fatalf("metrics %+v", res.Metrics)
+	}
+}
+
+func TestTracedSolveThroughFacade(t *testing.T) {
+	tech := DefaultTech(4)
+	g := NewGrid(20, 20, BuildLayers(tech), tech.GCellUM)
+	in := &Instance{
+		G: g, C: NewCosts(g),
+		Root:  g.At(1, 1, 0),
+		Sinks: []Sink{{V: g.At(15, 15, 0), W: 0.01}, {V: g.At(4, 16, 0), W: 0.02}},
+		Win:   g.FullWindow(),
+	}
+	var events []TraceEvent
+	if _, err := SolveCDTraced(in, DefaultCDOptions(), func(e TraceEvent) { events = append(events, e) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("events %d", len(events))
+	}
+	frames := RenderTraceFrames(in, events, 14)
+	if len(frames) != 2 || !strings.HasPrefix(frames[0], "<svg") {
+		t.Fatal("trace frames broken")
+	}
+}

@@ -1,0 +1,66 @@
+// Quickstart: build a small routing graph, define one net with a
+// critical and two non-critical sinks, solve it with the cost-distance
+// algorithm and print the objective decomposition next to the three
+// baselines from the paper.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"costdist"
+)
+
+func main() {
+	// A 32×32 gcell die with 6 routing layers on the default synthetic
+	// 5nm-flavoured technology. dbif is derived from the repeater chain
+	// model, exactly as the paper computes it.
+	tech := costdist.DefaultTech(6)
+	g := costdist.NewGrid(32, 32, costdist.BuildLayers(tech), tech.GCellUM)
+	costs := costdist.NewCosts(g)
+
+	in := &costdist.Instance{
+		G: g, C: costs,
+		Root: g.At(3, 3, 0),
+		Sinks: []costdist.Sink{
+			{V: g.At(28, 6, 0), W: 0.05}, // timing-critical
+			{V: g.At(24, 26, 0), W: 0.002},
+			{V: g.At(6, 24, 0), W: 0}, // don't care
+		},
+		DBif: costdist.Dbif(tech),
+		Eta:  0.25,
+		Seed: 1,
+	}
+	in.Win = in.DefaultWindow(6)
+
+	fmt.Printf("net with %d sinks, dbif = %.3f ps\n\n", len(in.Sinks), in.DBif)
+	fmt.Printf("%-4s %12s %12s %12s %6s %5s\n", "alg", "objective", "congestion", "delaycost", "wires", "vias")
+	for _, m := range []costdist.Method{costdist.L1, costdist.SL, costdist.PD, costdist.CD} {
+		tr, err := costdist.Solve(in, m, costdist.DefaultRouterOptions())
+		if err != nil {
+			log.Fatal(err)
+		}
+		ev, err := costdist.Evaluate(in, tr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-4v %12.3f %12.3f %12.3f %6d %5d\n", m, ev.Total, ev.CongCost, ev.DelayCost, ev.WireSteps, ev.Vias)
+	}
+
+	// Render the CD tree.
+	tr, err := costdist.SolveCD(in, costdist.DefaultCDOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	ev, _ := costdist.Evaluate(in, tr)
+	fmt.Printf("\nCD per-sink delays (ps):")
+	for i, d := range ev.SinkDelay {
+		fmt.Printf(" sink%d=%.1f", i, d)
+	}
+	fmt.Println()
+	if err := os.WriteFile("quickstart-tree.svg", []byte(costdist.RenderTree(in, tr, 14)), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("wrote quickstart-tree.svg")
+}

@@ -1,0 +1,38 @@
+// Timing-constrained global routing end to end: generate a scaled-down
+// version of the paper's chip c2 (Table III), route it with each of the
+// four Steiner tree oracles, and print the Tables IV/V-style metric rows
+// (worst slack, total negative slack, ACE4 congestion, wirelength,
+// vias, walltime).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"costdist"
+)
+
+func main() {
+	spec := costdist.ChipSuite(0.01)[1] // c2 at 1% of the paper's net count
+	chip, err := costdist.GenerateChip(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("chip %s: %d nets on %d layers, clock %.0f ps, dbif %.3f ps\n\n",
+		spec.Name, spec.NNets, spec.Layers, chip.ClkPeriod, chip.DBif)
+
+	opt := costdist.DefaultRouterOptions()
+	opt.Waves = 4
+
+	fmt.Printf("%-4s %9s %12s %8s %10s %8s %10s\n", "alg", "WS[ps]", "TNS[ps]", "ACE4[%]", "WL[m]", "vias", "walltime")
+	for _, m := range []costdist.Method{costdist.L1, costdist.SL, costdist.PD, costdist.CD} {
+		res, err := costdist.RouteChip(chip, m, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mt := res.Metrics
+		fmt.Printf("%-4v %9.0f %12.0f %8.2f %10.4f %8d %10s\n",
+			m, mt.WS, mt.TNS, mt.ACE4, mt.WLm, mt.Vias, mt.Walltime.Round(1e6))
+	}
+	fmt.Println("\n(the paper's Tables IV/V report these columns per chip; see cmd/benchtables)")
+}

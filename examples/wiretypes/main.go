@@ -1,0 +1,54 @@
+// Layer and wire type assignment under the linear delay model: the same
+// two-pin net is routed with increasing delay weight. As criticality
+// grows, the cost-distance objective pushes the route from the slow,
+// cheap lower layers onto fast upper layers and wide wire types, paying
+// vias and congestion cost for delay — the trade-off that motivates
+// cost-distance Steiner trees (paper §I).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"costdist"
+)
+
+func main() {
+	tech := costdist.DefaultTech(9)
+	g := costdist.NewGrid(48, 8, costdist.BuildLayers(tech), tech.GCellUM)
+
+	fmt.Println("routing a 45-gcell two-pin net at increasing criticality:")
+	fmt.Printf("%-10s %10s %12s %10s %6s %10s\n", "weight", "delay[ps]", "congestion", "maxlayer", "vias", "wide-steps")
+	for _, w := range []float64{0, 0.001, 0.005, 0.02, 0.1, 1} {
+		in := &costdist.Instance{
+			G: g, C: costdist.NewCosts(g),
+			Root:  g.At(1, 4, 0),
+			Sinks: []costdist.Sink{{V: g.At(46, 4, 0), W: w}},
+			Seed:  1,
+		}
+		in.Win = in.DefaultWindow(3)
+		tr, err := costdist.SolveCD(in, costdist.DefaultCDOptions())
+		if err != nil {
+			log.Fatal(err)
+		}
+		ev, err := costdist.Evaluate(in, tr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		maxLayer, vias, wide := 0, 0, 0
+		for _, st := range tr.Steps {
+			_, _, l := g.XYL(st.Arc.To)
+			if int(l) > maxLayer {
+				maxLayer = int(l)
+			}
+			if st.Arc.Via {
+				vias++
+			} else if st.Arc.WT > 0 {
+				wide++
+			}
+		}
+		fmt.Printf("%-10.4g %10.1f %12.2f %10s %6d %10d\n",
+			w, ev.SinkDelay[0], ev.CongCost, g.Layers[maxLayer].Name, vias, wide)
+	}
+	fmt.Println("\nhigher weight → faster layers/wires, more vias, higher congestion cost")
+}

@@ -1,0 +1,152 @@
+// Package buffering inserts repeaters along embedded Steiner trees and
+// computes the resulting stage-by-stage Elmore delays. The paper's
+// setting is global routing *before* buffering, with delays estimated by
+// the linear model of package dly; this package provides the "after"
+// side: it places repeaters at the optimal spacing ℓ* of each wire and
+// charges the extra capacitive delay at bifurcations — which is exactly
+// the quantity dbif models (paper §I and Figure 2). Tests use it to
+// validate that the linear model and the bifurcation penalty predict
+// buffered reality.
+package buffering
+
+import (
+	"fmt"
+
+	"costdist/internal/dly"
+	"costdist/internal/grid"
+	"costdist/internal/nets"
+)
+
+// Result reports a buffered tree.
+type Result struct {
+	// Buffers is the number of inserted repeaters.
+	Buffers int
+	// SinkDelay is the root-to-sink Elmore delay in ps, per sink, with
+	// explicit repeater stages and bifurcation load delays.
+	SinkDelay []float64
+	// LinearDelay is the linear-model prediction for the same tree
+	// (edge delays plus λ·dbif penalties, from nets.Evaluate), for
+	// comparison.
+	LinearDelay []float64
+}
+
+// state carries the open (unbuffered) wire stage while walking down.
+type state struct {
+	delay  float64 // committed delay up to the last repeater, ps
+	openUM float64 // unbuffered wire length since the last repeater, µm
+	openR  float64 // accumulated resistance of the open stage, Ω
+	openC  float64 // accumulated capacitance of the open stage, fF
+	extraC float64 // branch repeater inputs loading the stage, fF
+}
+
+// Buffer inserts repeaters into the tree: along every root-to-leaf walk
+// a repeater is placed whenever the open wire of the current layer
+// reaches its optimal spacing ℓ*; at every bifurcation each extra branch
+// hangs one repeater input capacitance on the open stage (the dbif
+// mechanism). Via delays pass through unbuffered.
+func Buffer(in *nets.Instance, tr *nets.RTree, tech dly.Tech) (*Result, error) {
+	ev, err := nets.Evaluate(in, tr)
+	if err != nil {
+		return nil, fmt.Errorf("buffering: %w", err)
+	}
+
+	type half struct {
+		to  grid.V
+		arc grid.Arc
+	}
+	adj := make(map[grid.V][]half)
+	for _, st := range tr.Steps {
+		adj[st.From] = append(adj[st.From], half{to: st.Arc.To, arc: st.Arc})
+		rev := st.Arc
+		rev.To = st.From
+		adj[st.Arc.To] = append(adj[st.Arc.To], half{to: st.From, arc: rev})
+	}
+	parent := map[grid.V]grid.V{in.Root: in.Root}
+	order := []grid.V{in.Root}
+	for i := 0; i < len(order); i++ {
+		v := order[i]
+		for _, h := range adj[v] {
+			if _, ok := parent[h.to]; !ok {
+				parent[h.to] = v
+				order = append(order, h.to)
+			}
+		}
+	}
+	sinksAt := map[grid.V][]int{}
+	for i, s := range in.Sinks {
+		sinksAt[s.V] = append(sinksAt[s.V], i)
+	}
+
+	res := &Result{
+		SinkDelay:   make([]float64, len(in.Sinks)),
+		LinearDelay: ev.SinkDelay,
+	}
+	buf := tech.Buf
+
+	// closeStage commits the open stage into a repeater: Elmore delay of
+	// the driving repeater (ROut against everything downstream) plus the
+	// distributed wire, loaded by the next repeater's input.
+	closeStage := func(st state) state {
+		d := st.delay + buf.Intrinsic +
+			(buf.ROut*(st.openC+buf.CIn+st.extraC)+
+				st.openR*(st.openC/2+buf.CIn+st.extraC))*1e-3
+		return state{delay: d}
+	}
+	// terminate ends the walk at a sink pin (load ≈ one input cap).
+	terminate := func(st state) float64 {
+		return st.delay +
+			(buf.ROut*(st.openC+buf.CIn+st.extraC)+
+				st.openR*(st.openC/2+buf.CIn+st.extraC))*1e-3
+	}
+
+	var walk func(v grid.V, st state)
+	walk = func(v grid.V, st state) {
+		var kids []half
+		for _, h := range adj[v] {
+			if h.to != v && parent[h.to] == v {
+				kids = append(kids, h)
+			}
+		}
+		for _, si := range sinksAt[v] {
+			res.SinkDelay[si] = terminate(st)
+		}
+		branchExtra := 0.0
+		if len(kids) > 1 {
+			// Each extra branch is shielded behind its own repeater
+			// whose input loads the current stage.
+			branchExtra = buf.CIn * float64(len(kids)-1)
+			res.Buffers += len(kids) - 1
+		}
+		for _, h := range kids {
+			next := st
+			next.extraC += branchExtra
+			if h.arc.Via {
+				next.delay += tech.Layers[h.arc.L].ViaDelay
+				walk(h.to, next)
+				continue
+			}
+			w := tech.Layers[h.arc.L].Wires[h.arc.WT]
+			lstar := dly.OptimalSpacing(w.RPerUM, w.CPerUM, buf)
+			remain := tech.GCellUM
+			for remain > 1e-12 {
+				room := lstar - next.openUM
+				if room <= 1e-12 {
+					next = closeStage(next)
+					res.Buffers++
+					continue
+				}
+				add := remain
+				if add > room {
+					add = room
+				}
+				next.openUM += add
+				next.openR += w.RPerUM * add
+				next.openC += w.CPerUM * add
+				remain -= add
+			}
+			walk(h.to, next)
+		}
+	}
+	walk(in.Root, state{})
+	return res, nil
+}

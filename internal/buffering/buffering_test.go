@@ -1,0 +1,157 @@
+package buffering
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"costdist/internal/core"
+	"costdist/internal/dly"
+	"costdist/internal/grid"
+	"costdist/internal/nets"
+)
+
+func setup(t *testing.T, nx int32, layers int) (*grid.Graph, *grid.Costs, dly.Tech) {
+	t.Helper()
+	tech := dly.DefaultTech(layers)
+	g := grid.New(nx, nx, tech.BuildLayers(), tech.GCellUM)
+	return g, grid.NewCosts(g), tech
+}
+
+func solve(t *testing.T, in *nets.Instance) *nets.RTree {
+	t.Helper()
+	tr, err := core.Solve(in, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestLongNetGetsBuffers(t *testing.T) {
+	g, c, tech := setup(t, 40, 4)
+	in := &nets.Instance{
+		G: g, C: c, Root: g.At(0, 0, 0),
+		Sinks: []nets.Sink{{V: g.At(39, 0, 0), W: 0.01}},
+		Win:   g.FullWindow(), Seed: 1,
+	}
+	res, err := Buffer(in, solve(t, in), tech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 39 gcells ≈ 1950 µm over spacings of 10-50 µm: many repeaters.
+	if res.Buffers < 10 {
+		t.Fatalf("only %d buffers on a 2 mm net", res.Buffers)
+	}
+	if res.SinkDelay[0] <= 0 {
+		t.Fatal("no delay computed")
+	}
+}
+
+func TestShortNetNoBuffers(t *testing.T) {
+	g, c, tech := setup(t, 8, 4)
+	in := &nets.Instance{
+		G: g, C: c, Root: g.At(3, 3, 0),
+		Sinks: []nets.Sink{{V: g.At(3, 3, 1), W: 0.01}}, // one via up
+		Win:   g.FullWindow(), Seed: 1,
+	}
+	res, err := Buffer(in, solve(t, in), tech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Buffers != 0 {
+		t.Fatalf("%d buffers on a via-only net", res.Buffers)
+	}
+}
+
+func TestLinearModelPredictsBufferedDelay(t *testing.T) {
+	// The whole point of the linear delay model: after buffering, the
+	// Elmore delay should track the linear prediction. We check the
+	// ratio stays within a factor 2 on single-sink nets of assorted
+	// lengths (the linear model is per-unit-optimal; the inserted chain
+	// quantizes stages, so some deviation is expected).
+	g, c, tech := setup(t, 48, 6)
+	for _, span := range []int32{10, 20, 30, 45} {
+		in := &nets.Instance{
+			G: g, C: c, Root: g.At(0, 0, 0),
+			Sinks: []nets.Sink{{V: g.At(span, 0, 0), W: 0.05}},
+			Win:   g.FullWindow(), Seed: 2,
+		}
+		res, err := Buffer(in, solve(t, in), tech)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lin := res.LinearDelay[0]
+		got := res.SinkDelay[0]
+		if got <= 0 || lin <= 0 {
+			t.Fatalf("span %d: degenerate delays %v %v", span, got, lin)
+		}
+		ratio := got / lin
+		if ratio < 0.5 || ratio > 2.0 {
+			t.Fatalf("span %d: buffered %v vs linear %v (ratio %v)", span, got, lin, ratio)
+		}
+	}
+}
+
+func TestBifurcationCostsShowUp(t *testing.T) {
+	// A branchy tree must see more buffers and extra stage delay
+	// compared to a straight net of the same root-sink distance.
+	g, c, tech := setup(t, 40, 4)
+	straight := &nets.Instance{
+		G: g, C: c, Root: g.At(0, 0, 0),
+		Sinks: []nets.Sink{{V: g.At(30, 0, 0), W: 0.05}},
+		Win:   g.FullWindow(), Seed: 3,
+	}
+	branchy := &nets.Instance{
+		G: g, C: c, Root: g.At(0, 0, 0),
+		Sinks: []nets.Sink{
+			{V: g.At(30, 0, 0), W: 0.05},
+			{V: g.At(10, 8, 0), W: 0.001},
+			{V: g.At(20, 8, 0), W: 0.001},
+		},
+		Win: g.FullWindow(), Seed: 3,
+	}
+	rs, err := Buffer(straight, solve(t, straight), tech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := Buffer(branchy, solve(t, branchy), tech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.Buffers <= rs.Buffers {
+		t.Fatalf("branchy tree has %d buffers vs straight %d", rb.Buffers, rs.Buffers)
+	}
+	if rb.SinkDelay[0] < rs.SinkDelay[0] {
+		t.Fatalf("branch loads should not speed up the trunk: %v vs %v", rb.SinkDelay[0], rs.SinkDelay[0])
+	}
+}
+
+func TestMultiSinkConsistency(t *testing.T) {
+	g, c, tech := setup(t, 32, 5)
+	rng := rand.New(rand.NewPCG(4, 4))
+	for it := 0; it < 10; it++ {
+		in := &nets.Instance{
+			G: g, C: c, Root: g.At(rng.Int32N(32), rng.Int32N(32), 0),
+			Win: g.FullWindow(), Seed: uint64(it),
+			DBif: tech.Dbif(), Eta: 0.25,
+		}
+		for s := 0; s < 2+rng.IntN(8); s++ {
+			in.Sinks = append(in.Sinks, nets.Sink{
+				V: g.At(rng.Int32N(32), rng.Int32N(32), 0),
+				W: rng.Float64() * 0.05,
+			})
+		}
+		res, err := Buffer(in, solve(t, in), tech)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.SinkDelay) != len(in.Sinks) || len(res.LinearDelay) != len(in.Sinks) {
+			t.Fatal("delay vector sizes wrong")
+		}
+		for i, d := range res.SinkDelay {
+			if math.IsNaN(d) || d < 0 {
+				t.Fatalf("sink %d: bad delay %v", i, d)
+			}
+		}
+	}
+}

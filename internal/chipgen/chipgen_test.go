@@ -1,0 +1,146 @@
+package chipgen
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func TestSuiteMatchesTableIII(t *testing.T) {
+	specs := Suite(1.0)
+	wantNets := []int{49734, 66500, 286619, 305094, 420131, 590060, 650127, 941271}
+	wantLayers := []int{8, 9, 7, 15, 9, 9, 15, 15}
+	if len(specs) != 8 {
+		t.Fatalf("suite size %d", len(specs))
+	}
+	for i, s := range specs {
+		if s.NNets != wantNets[i] {
+			t.Fatalf("%s nets %d want %d", s.Name, s.NNets, wantNets[i])
+		}
+		if s.Layers != wantLayers[i] {
+			t.Fatalf("%s layers %d want %d", s.Name, s.Layers, wantLayers[i])
+		}
+	}
+	half := Suite(0.01)
+	for i, s := range half {
+		if s.Layers != wantLayers[i] {
+			t.Fatalf("scaling changed layer count")
+		}
+		if s.NNets >= wantNets[i] {
+			t.Fatalf("scaling did not reduce nets")
+		}
+	}
+}
+
+func TestGenerateStructure(t *testing.T) {
+	spec := Suite(0.004)[0] // ~200 nets
+	chip, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := chip.NL.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(chip.G.Layers) != spec.Layers {
+		t.Fatalf("layers %d", len(chip.G.Layers))
+	}
+	if chip.ClkPeriod <= 0 || chip.DBif <= 0 {
+		t.Fatalf("clk %v dbif %v", chip.ClkPeriod, chip.DBif)
+	}
+	// Pins map into the grid.
+	for ci := range chip.NL.Cells {
+		v := chip.PinVertex(int32(ci))
+		if v < 0 || int32(v) >= chip.G.NumV() {
+			t.Fatalf("pin vertex out of range")
+		}
+	}
+	// Net count should be near the target (some may be dropped, some
+	// added for coverage).
+	if len(chip.NL.Nets) < spec.NNets*8/10 {
+		t.Fatalf("too few nets: %d for target %d", len(chip.NL.Nets), spec.NNets)
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	spec := Suite(0.002)[1]
+	a, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.NL.Cells) != len(b.NL.Cells) || len(a.NL.Nets) != len(b.NL.Nets) {
+		t.Fatal("generation not deterministic in sizes")
+	}
+	for i := range a.NL.Nets {
+		if a.NL.Nets[i].Driver != b.NL.Nets[i].Driver || len(a.NL.Nets[i].Sinks) != len(b.NL.Nets[i].Sinks) {
+			t.Fatalf("net %d differs between runs", i)
+		}
+	}
+}
+
+func TestFanoutBucketsPopulated(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	buckets := map[string]int{}
+	for i := 0; i < 20000; i++ {
+		k := sinkCount(rng)
+		switch {
+		case k <= 2:
+			buckets["1-2"]++
+		case k <= 5:
+			buckets["3-5"]++
+		case k <= 14:
+			buckets["6-14"]++
+		case k <= 29:
+			buckets["15-29"]++
+		default:
+			buckets["30+"]++
+		}
+	}
+	for _, b := range []string{"1-2", "3-5", "6-14", "15-29", "30+"} {
+		if buckets[b] == 0 {
+			t.Fatalf("bucket %s empty: %v", b, buckets)
+		}
+	}
+	// Small nets must dominate, like real designs.
+	if buckets["1-2"] < buckets["30+"]*10 {
+		t.Fatalf("fanout distribution implausible: %v", buckets)
+	}
+}
+
+func TestHotspotsReduceCapacity(t *testing.T) {
+	spec := Suite(0.004)[2]
+	spec.Hotspots = 10
+	chip, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := chip.G.Layers[0].SegCap
+	reduced := 0
+	for s := int32(0); s < chip.G.NumRouteSegs(); s++ {
+		if chip.G.SegLayer(s) == 0 && chip.G.Cap[s] < full {
+			reduced++
+		}
+	}
+	if reduced == 0 {
+		t.Fatal("no capacity reductions found")
+	}
+}
+
+func TestTightnessControlsClock(t *testing.T) {
+	spec := Suite(0.002)[0]
+	spec.ClkTightness = 0.5
+	tight, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.ClkTightness = 1.5
+	loose, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.ClkPeriod >= loose.ClkPeriod {
+		t.Fatalf("tightness not monotone: %v vs %v", tight.ClkPeriod, loose.ClkPeriod)
+	}
+}

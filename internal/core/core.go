@@ -1,0 +1,147 @@
+// Package core implements the paper's primary contribution: the fast
+// randomized O(log t)-approximation algorithm for cost-distance Steiner
+// trees with bifurcation penalties (Algorithm 1), together with the
+// practical enhancements of §III:
+//
+//   - §III-A discounting of existing tree components: searches traverse
+//     their own component's edges at zero congestion cost and may finish
+//     at any vertex of a target component;
+//   - §III-B two-level heaps: one binary heap per active component plus
+//     an indexed top-level heap over per-component minima, so the
+//     globally minimal tentative label pops in O(log t + log n);
+//   - §III-C goal-oriented (A*) searches with admissible future costs;
+//   - §III-D improved embedding of new Steiner vertices along the
+//     connection path;
+//   - §III-E encouraging early root connections by discounting the
+//     expected future penalty savings.
+//
+// The algorithm runs one Dijkstra per active component u under the
+// sink-individual metric l_u(e) = c(e) + w(u)·d(e) (eq. 4), merges the
+// first pair whose connection label (including the balanced bifurcation
+// penalty b(u,v)) becomes globally minimal (eq. 5), and repeats with the
+// merged component until every sink is connected to the root.
+package core
+
+import (
+	"costdist/internal/geom"
+	"costdist/internal/grid"
+	"costdist/internal/heaps"
+	"costdist/internal/sparse"
+)
+
+// Options selects the practical enhancements. The zero value is the
+// plain §II algorithm; DefaultOptions enables what the paper's CD runs
+// use.
+type Options struct {
+	// Discount enables §III-A: zero connection cost on own-component
+	// edges and connections completing at any target-component vertex.
+	Discount bool
+	// AStar enables §III-C goal-oriented searches. Future costs are
+	// recomputed against the target components alive at push time; after
+	// a merge grows a target, older labels may carry slightly inflated
+	// keys (documented trade-off, ablated in benchmarks).
+	AStar bool
+	// AStarMaxTargets disables A* for searches with more active targets
+	// than this (the per-label min over targets gets too expensive).
+	AStarMaxTargets int
+	// ImproveSteiner enables §III-D: the new component's representative
+	// is placed at the path position minimizing the estimated extension
+	// cost instead of a random endpoint.
+	ImproveSteiner bool
+	// RootBonus enables §III-E: root connection labels are discounted by
+	// the guaranteed future penalty saving η·dbif·w(u).
+	RootBonus bool
+	// FlatHeap replaces the two-level heap with a single global heap
+	// (ablation of §III-B; results are identical, speed differs).
+	FlatHeap bool
+}
+
+// DefaultOptions returns the configuration used for the paper's "CD"
+// experiments: all quality-relevant enhancements on, A* off (it is a
+// pure speed/quality trade toggled in the ablation benchmarks).
+func DefaultOptions() Options {
+	return Options{
+		Discount:        true,
+		AStar:           false,
+		AStarMaxTargets: 12,
+		ImproveSteiner:  true,
+		RootBonus:       true,
+	}
+}
+
+// TraceEvent describes one merge, for visualization (Figure 3) and
+// debugging.
+type TraceEvent struct {
+	Iter   int
+	ToRoot bool
+	// PosU and PosV are the representative positions of the two merged
+	// components; WU, WV their delay weights.
+	PosU, PosV geom.Pt
+	WU, WV     float64
+	// Path is the vertex sequence of the new connection (may be empty
+	// for coincident components).
+	Path []grid.V
+	// NewRep is the representative chosen for the merged component.
+	NewRep geom.Pt
+	// Labeled is the number of labeled vertices of the initiating search
+	// at merge time (the "disk size" in Figure 3).
+	Labeled int
+}
+
+// arcCode packs how a vertex was reached for path reconstruction.
+const (
+	codeVia  uint8 = 0xFF
+	codeSeed uint8 = 0xFE
+)
+
+// comp is an active component: a subtree already built, its Dijkstra
+// search state, and bookkeeping for connection candidates.
+type comp struct {
+	id     int32
+	weight float64
+	alive  bool
+	isRoot bool
+
+	rep  grid.V // representative terminal position
+	bbox geom.Rect
+
+	labels *sparse.Map
+	heap   heaps.Lazy[entry]
+
+	// Best root-connection candidate found so far (kept out of the heap
+	// because its penalty term changes when the active weight shrinks).
+	rootG   float64
+	rootAt  grid.V
+	hasRoot bool
+
+	// astar is true while this search uses future costs.
+	astar bool
+}
+
+// entry is a heap element of one component's search.
+type entry struct {
+	g float64 // true distance label (without heuristic or penalty)
+	v grid.V
+	// target is the component id this entry would connect to, or -1 for
+	// an ordinary expansion entry.
+	target int32
+	// b is the penalty included in the key at push time (for staleness
+	// checks on connect entries).
+	b float64
+}
+
+// rebuildArc reconstructs the grid arc from prev to v given the stored
+// code (wire type or via marker).
+func rebuildArc(g *grid.Graph, prev, v grid.V, code uint8) grid.Arc {
+	seg, via := g.SegBetween(prev, v)
+	_, _, lp := g.XYL(prev)
+	_, _, lv := g.XYL(v)
+	if via {
+		l := lp
+		if lv < l {
+			l = lv
+		}
+		return grid.Arc{To: v, Seg: seg, L: int8(l), WT: -1, Via: true}
+	}
+	return grid.Arc{To: v, Seg: seg, L: int8(lp), WT: int8(code)}
+}

@@ -1,0 +1,573 @@
+package core
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"costdist/internal/dsu"
+	"costdist/internal/geom"
+	"costdist/internal/grid"
+	"costdist/internal/heaps"
+	"costdist/internal/nets"
+	"costdist/internal/sparse"
+)
+
+// Solve runs the cost-distance algorithm on the instance and returns the
+// embedded Steiner tree.
+func Solve(in *nets.Instance, opt Options) (*nets.RTree, error) {
+	return SolveTraced(in, opt, nil)
+}
+
+// SolveTraced is Solve with a per-merge trace callback (used for the
+// Figure 3 reproduction and debugging). The callback may be nil.
+func SolveTraced(in *nets.Instance, opt Options, trace func(TraceEvent)) (*nets.RTree, error) {
+	s := &solver{
+		in:    in,
+		opt:   opt,
+		g:     in.G,
+		costs: in.C,
+		owner: make(map[grid.V]int32),
+		trace: trace,
+		rng:   rand.New(rand.NewPCG(in.Seed, 0x9E3779B97F4A7C15)),
+	}
+	s.minCost = in.C.MinCostPerGCell()
+	s.minDelay = in.C.MinDelayPerGCell()
+
+	// Root component (id 0).
+	root := &comp{id: 0, alive: true, isRoot: true, rep: in.Root,
+		bbox: geom.BBox([]geom.Pt{in.G.Pt(in.Root)})}
+	s.comps = append(s.comps, root)
+	s.owner[in.Root] = 0
+
+	// Sink components, grouped by vertex; sinks at the root vertex are
+	// already connected.
+	byVertex := map[grid.V]float64{}
+	var order []grid.V
+	for _, sk := range in.Sinks {
+		if sk.V == in.Root {
+			continue
+		}
+		if _, ok := byVertex[sk.V]; !ok {
+			order = append(order, sk.V)
+		}
+		byVertex[sk.V] += sk.W
+	}
+	for _, v := range order {
+		c := &comp{
+			id: int32(len(s.comps)), weight: byVertex[v], alive: true,
+			rep: v, bbox: geom.BBox([]geom.Pt{in.G.Pt(v)}),
+		}
+		s.comps = append(s.comps, c)
+		s.owner[v] = c.id
+		s.activeW += c.weight
+		s.alive++
+	}
+
+	s.sets = dsu.New(len(s.comps))
+	s.top = heaps.NewIndexed(len(s.comps))
+	s.rootTop = heaps.NewIndexed(len(s.comps))
+	for _, c := range s.comps[1:] {
+		s.startSearch(c)
+	}
+
+	for s.alive > 0 {
+		if err := s.step(); err != nil {
+			return nil, err
+		}
+	}
+	// Stale label chains (settled before a vertex was claimed by a later
+	// merge) can make reconstructed paths re-use existing tree edges;
+	// pruning deduplicates and keeps a spanning tree, which only removes
+	// congestion cost.
+	return nets.PruneToTree(in, s.steps)
+}
+
+type solver struct {
+	in    *nets.Instance
+	opt   Options
+	g     *grid.Graph
+	costs *grid.Costs
+
+	comps   []*comp
+	owner   map[grid.V]int32
+	sets    *dsu.DSU
+	top     *heaps.Indexed
+	rootTop *heaps.Indexed
+	flat    heaps.Lazy[flatEntry]
+
+	activeW float64
+	alive   int
+	iter    int
+	steps   []nets.Step
+
+	minCost, minDelay float64
+	rng               *rand.Rand
+	trace             func(TraceEvent)
+}
+
+type flatEntry struct {
+	comp int32
+	e    entry
+}
+
+// resolveOwner returns the current alive component owning v, or -1.
+func (s *solver) resolveOwner(v grid.V) int32 {
+	id, ok := s.owner[v]
+	if !ok {
+		return -1
+	}
+	return s.sets.Find(id)
+}
+
+// bConnect is the balanced bifurcation penalty b(u,v) of eq. (5) for a
+// sink-to-sink connection.
+func (s *solver) bConnect(c, j *comp) float64 {
+	return nets.Beta(s.in.DBif, s.in.Eta, c.weight, j.weight)
+}
+
+// bRoot is b(u, r_i) for a root connection, minus the §III-E bonus.
+func (s *solver) bRoot(c *comp) float64 {
+	rest := s.activeW - c.weight
+	if rest < 0 {
+		rest = 0
+	}
+	b := nets.Beta(s.in.DBif, s.in.Eta, c.weight, rest)
+	if s.opt.RootBonus {
+		b -= s.in.Eta * s.in.DBif * c.weight
+		if b < 0 {
+			b = 0
+		}
+	}
+	return b
+}
+
+// h is the admissible future cost for component c at position p: the
+// minimum over all other alive components of the geometric lower bound.
+func (s *solver) h(c *comp, p geom.Pt) float64 {
+	if !c.astar {
+		return 0
+	}
+	unit := s.minCost + c.weight*s.minDelay
+	best := -1.0
+	for _, j := range s.comps {
+		if !j.alive || j.id == c.id {
+			continue
+		}
+		d := float64(rectDist(p, j.bbox)) * unit
+		if best < 0 || d < best {
+			best = d
+		}
+	}
+	if best < 0 {
+		return 0
+	}
+	return best
+}
+
+func rectDist(p geom.Pt, r geom.Rect) int64 {
+	var dx, dy int64
+	if p.X < r.X0 {
+		dx = int64(r.X0 - p.X)
+	} else if p.X > r.X1 {
+		dx = int64(p.X - r.X1)
+	}
+	if p.Y < r.Y0 {
+		dy = int64(r.Y0 - p.Y)
+	} else if p.Y > r.Y1 {
+		dy = int64(p.Y - r.Y1)
+	}
+	return dx + dy
+}
+
+// startSearch initializes component c's Dijkstra from its representative.
+func (s *solver) startSearch(c *comp) {
+	c.labels = sparse.NewMap(64)
+	c.heap.Reset()
+	c.hasRoot = false
+	c.astar = s.opt.AStar && s.alive <= s.opt.AStarMaxTargets+1
+	lab, _ := c.labels.Put(int32(c.rep))
+	lab.Dist = 0
+	lab.Prev = -1
+	lab.Arc = codeSeed
+	s.push(c, entry{g: 0, v: c.rep, target: -1})
+	s.refreshTop(c)
+}
+
+// push inserts an entry into c's heap (or the flat heap) with its key.
+func (s *solver) push(c *comp, e entry) {
+	key := e.g + e.b
+	if e.target < 0 {
+		key = e.g + s.h(c, s.g.Pt(e.v))
+	}
+	if s.opt.FlatHeap {
+		s.flat.Push(key, flatEntry{comp: c.id, e: e})
+		return
+	}
+	c.heap.Push(key, e)
+}
+
+// refreshTop purges stale entries from c's heap and publishes its
+// current minimum to the top-level heap, implementing §III-B.
+func (s *solver) refreshTop(c *comp) {
+	if s.opt.FlatHeap {
+		return
+	}
+	if !c.alive || c.isRoot {
+		s.top.Set(c.id, heaps.Inf)
+		s.rootTop.Set(c.id, heaps.Inf)
+		return
+	}
+	for c.heap.Len() > 0 {
+		key, e := c.heap.Peek()
+		fresh, repl, newKey, doRepush := s.validate(c, e, key)
+		if fresh {
+			break
+		}
+		c.heap.Pop()
+		if doRepush {
+			c.heap.Push(newKey, repl)
+		}
+	}
+	if c.heap.Len() == 0 {
+		s.top.Set(c.id, heaps.Inf)
+	} else {
+		s.top.Set(c.id, c.heap.MinKey())
+	}
+	s.publishRoot(c)
+}
+
+// publishRoot refreshes c's root-candidate key in the root top heap.
+func (s *solver) publishRoot(c *comp) {
+	if !c.alive || c.isRoot || !c.hasRoot {
+		s.rootTop.Set(c.id, heaps.Inf)
+		return
+	}
+	s.rootTop.Set(c.id, c.rootG+s.bRoot(c))
+}
+
+// validate checks whether a heap entry is current. It returns
+// fresh=true when the entry can be acted on with its stored key. A
+// stale entry may come back as a corrected replacement (re-push with
+// newKey); repush=false means drop it.
+func (s *solver) validate(c *comp, e entry, key float64) (fresh bool, repush entry, newKey float64, doRepush bool) {
+	lab := c.labels.Get(int32(e.v))
+	if lab == nil || e.g > lab.Dist+1e-12 {
+		return false, entry{}, 0, false // superseded by a better label
+	}
+	if e.target < 0 {
+		if lab.Perm {
+			return false, entry{}, 0, false
+		}
+		// The vertex may have been claimed by another component since
+		// this label was pushed; the expansion becomes a connection.
+		own := s.resolveOwner(e.v)
+		if own >= 0 && own != c.id {
+			jc := s.comps[own]
+			if jc.isRoot {
+				if !c.hasRoot || e.g < c.rootG {
+					c.rootG = e.g
+					c.rootAt = e.v
+					c.hasRoot = true
+				}
+				return false, entry{}, 0, false
+			}
+			b := s.bConnect(c, jc)
+			return false, entry{g: e.g, v: e.v, target: own, b: b}, e.g + b, true
+		}
+		return true, entry{}, 0, false
+	}
+	j := s.sets.Find(e.target)
+	if j == c.id {
+		return false, entry{}, 0, false // target merged into us
+	}
+	jc := s.comps[j]
+	if jc.isRoot {
+		// Root candidates live outside the heap; convert.
+		if !c.hasRoot || e.g < c.rootG {
+			c.rootG = e.g
+			c.rootAt = e.v
+			c.hasRoot = true
+		}
+		return false, entry{}, 0, false
+	}
+	b := s.bConnect(c, jc)
+	if j != e.target || e.g+b > key+1e-12 {
+		// Target id or penalty changed: re-push with the current key.
+		return false, entry{g: e.g, v: e.v, target: j, b: b}, e.g + b, true
+	}
+	return true, entry{}, 0, false
+}
+
+// step processes one global event: either settles the globally minimal
+// label (expanding its search) or commits the globally minimal
+// connection (merging two components).
+func (s *solver) step() error {
+	c, e, isRoot, ok := s.popGlobal()
+	if !ok {
+		return fmt.Errorf("core: no events left with %d active components (disconnected window?)", s.alive)
+	}
+	if isRoot {
+		s.merge(c, s.comps[0].id, c.rootAt, true)
+		return nil
+	}
+	if e.target >= 0 {
+		s.merge(c, s.sets.Find(e.target), e.v, false)
+		return nil
+	}
+	s.expand(c, e)
+	return nil
+}
+
+// popGlobal returns the next valid event.
+func (s *solver) popGlobal() (*comp, entry, bool, bool) {
+	if s.opt.FlatHeap {
+		return s.popFlat()
+	}
+	for {
+		slot, key := s.top.Min()
+		rslot, rkey := s.rootTop.Min()
+		if key == heaps.Inf && rkey == heaps.Inf {
+			return nil, entry{}, false, false
+		}
+		if rkey <= key {
+			c := s.comps[rslot]
+			return c, entry{}, true, true
+		}
+		c := s.comps[slot]
+		_, e := c.heap.Pop()
+		fresh, repl, newKey, doRepush := s.validate(c, e, key)
+		if !fresh {
+			if doRepush {
+				c.heap.Push(newKey, repl)
+			}
+			s.refreshTop(c)
+			continue
+		}
+		s.refreshTop(c)
+		return c, e, false, true
+	}
+}
+
+// popFlat is the single-heap ablation of §III-B.
+func (s *solver) popFlat() (*comp, entry, bool, bool) {
+	for {
+		// Root candidates: scan alive components (the ablation trades
+		// top-level structure for linear scans).
+		bestRoot := heaps.Inf
+		var bestComp *comp
+		for _, c := range s.comps {
+			if c.alive && !c.isRoot && c.hasRoot {
+				if k := c.rootG + s.bRoot(c); k < bestRoot {
+					bestRoot, bestComp = k, c
+				}
+			}
+		}
+		if s.flat.Len() == 0 {
+			if bestComp != nil {
+				return bestComp, entry{}, true, true
+			}
+			return nil, entry{}, false, false
+		}
+		key, fe := s.flat.Peek()
+		if bestRoot <= key {
+			return bestComp, entry{}, true, true
+		}
+		s.flat.Pop()
+		if s.sets.Find(fe.comp) != fe.comp {
+			continue // entry from a search that has since merged
+		}
+		c := s.comps[fe.comp]
+		if !c.alive || c.isRoot {
+			continue
+		}
+		fresh, repl, newKey, doRepush := s.validate(c, fe.e, key)
+		if !fresh {
+			if doRepush {
+				s.flat.Push(newKey, flatEntry{comp: c.id, e: repl})
+			}
+			continue
+		}
+		return c, fe.e, false, true
+	}
+}
+
+// expand settles e.v for component c and relaxes its outgoing arcs under
+// the metric l_c = cost + w(c)·delay (eq. 4), with §III-A discounting.
+func (s *solver) expand(c *comp, e entry) {
+	lab := c.labels.Get(int32(e.v))
+	lab.Perm = true
+	fromOwn := s.resolveOwner(e.v) == c.id
+	s.g.Arcs(e.v, s.in.Win, func(a grid.Arc) bool {
+		to := a.To
+		own := s.resolveOwner(to)
+		if s.opt.Discount {
+			switch {
+			case own == c.id:
+				// Own component: traversable at zero connection cost
+				// (§III-A), but only along the component (no re-entry
+				// from outside, which would close cycles).
+				if fromOwn {
+					s.relax(c, to, e.g+c.weight*s.costs.ArcDelay(a), e.v, a, -1)
+				}
+			case own >= 0:
+				// Any vertex of another component completes a
+				// connection (§III-A end-component discounting).
+				ng := e.g + s.costs.ArcCost(a) + c.weight*s.costs.ArcDelay(a)
+				s.relax(c, to, ng, e.v, a, own)
+			default:
+				ng := e.g + s.costs.ArcCost(a) + c.weight*s.costs.ArcDelay(a)
+				s.relax(c, to, ng, e.v, a, -1)
+			}
+			return true
+		}
+		// Base §II algorithm: connections complete only at the
+		// representative terminal of another component; every other
+		// vertex (including own-component ones) is plain space.
+		ng := e.g + s.costs.ArcCost(a) + c.weight*s.costs.ArcDelay(a)
+		if own >= 0 && own != c.id && to == s.comps[own].rep {
+			s.relax(c, to, ng, e.v, a, own)
+			return true
+		}
+		s.relax(c, to, ng, e.v, a, -1)
+		return true
+	})
+	s.refreshTop(c)
+}
+
+// relax updates the label for `to` in c's search and pushes an entry.
+// target ≥ 0 marks a connection candidate into that component.
+func (s *solver) relax(c *comp, to grid.V, ng float64, from grid.V, a grid.Arc, target int32) {
+	lab, existed := c.labels.Put(int32(to))
+	if existed && (lab.Perm || ng >= lab.Dist-1e-15) {
+		return
+	}
+	lab.Dist = ng
+	lab.Prev = int32(from)
+	lab.Perm = false
+	if a.Via {
+		lab.Arc = codeVia
+	} else {
+		lab.Arc = uint8(a.WT)
+	}
+	if target >= 0 {
+		j := s.comps[target]
+		if j.isRoot {
+			if !c.hasRoot || ng < c.rootG {
+				c.rootG = ng
+				c.rootAt = to
+				c.hasRoot = true
+			}
+			return
+		}
+		s.push(c, entry{g: ng, v: to, target: target, b: s.bConnect(c, j)})
+		return
+	}
+	s.push(c, entry{g: ng, v: to, target: -1})
+}
+
+// merge commits the connection of c to component jid at vertex p,
+// reconstructs the connection path, and starts the merged search.
+func (s *solver) merge(c *comp, jid int32, p grid.V, toRoot bool) {
+	j := s.comps[jid]
+
+	// Reconstruct path from p back to c's seed.
+	var path []grid.V
+	cur := p
+	for {
+		path = append(path, cur)
+		lab := c.labels.Get(int32(cur))
+		if lab == nil || lab.Arc == codeSeed {
+			break
+		}
+		prev := grid.V(lab.Prev)
+		// Own-component hops are existing tree edges; skip re-emitting.
+		if !(s.resolveOwner(prev) == c.id && s.resolveOwner(cur) == c.id) {
+			arc := rebuildArc(s.g, prev, cur, lab.Arc)
+			s.steps = append(s.steps, nets.Step{From: prev, Arc: arc})
+		}
+		cur = prev
+	}
+
+	ev := TraceEvent{
+		Iter: s.iter, ToRoot: toRoot,
+		PosU: s.g.Pt(c.rep), PosV: s.g.Pt(j.rep),
+		WU: c.weight, WV: j.weight,
+		Path:    path,
+		Labeled: c.labels.Len(),
+	}
+	s.iter++
+
+	nid := int32(len(s.comps))
+	s.sets.Grow(1)
+	s.top.Grow(1)
+	s.rootTop.Grow(1)
+	k := &comp{id: nid, alive: true}
+	k.bbox = c.bbox.Union(j.bbox)
+	for _, v := range path {
+		k.bbox = k.bbox.Add(s.g.Pt(v))
+		if _, ok := s.owner[v]; !ok {
+			s.owner[v] = nid
+		}
+	}
+	if toRoot {
+		k.isRoot = true
+		k.rep = j.rep
+		s.activeW -= c.weight
+		s.alive--
+	} else {
+		k.weight = c.weight + j.weight
+		k.rep = s.chooseRep(c, j, path)
+		s.alive--
+	}
+	ev.NewRep = s.g.Pt(k.rep)
+
+	// Deactivate the merged pair.
+	for _, old := range []*comp{c, j} {
+		old.alive = false
+		old.labels = nil
+		old.heap.Reset()
+		s.refreshTop(old)
+	}
+	s.comps = append(s.comps, k)
+	s.sets.UnionInto(nid, c.id)
+	s.sets.UnionInto(nid, j.id)
+
+	if k.isRoot {
+		// Active weight changed: every root-candidate key must be
+		// refreshed (they only shrink here, which lazy heaps cannot
+		// absorb — the root top-level heap is exact).
+		for _, cc := range s.comps {
+			if cc.alive && !cc.isRoot {
+				s.publishRoot(cc)
+			}
+		}
+	} else {
+		s.startSearch(k)
+	}
+	if s.trace != nil {
+		s.trace(ev)
+	}
+}
+
+// chooseRep picks the merged component's representative. Algorithm 1
+// line 7 selects randomly, proportional to the delay weights, which the
+// approximation proof (Lemma 2) needs. With §III-A discounting, the
+// Steiner vertex is implicitly placed where future paths leave the
+// component, so what remains of §III-D here is the choice of the delay
+// anchor: deterministically taking the heavier terminal charges the
+// pair's connection delay to the lighter side, i.e. min(w_u,w_v)·d(P),
+// which is at most the randomized choice's expected 2·w_u·w_v/(w_u+w_v)
+// — a strict improvement in practice that, like the paper's §III-D,
+// gives up the theoretical guarantee.
+func (s *solver) chooseRep(c, j *comp, path []grid.V) grid.V {
+	if s.opt.ImproveSteiner {
+		if c.weight >= j.weight {
+			return c.rep
+		}
+		return j.rep
+	}
+	if s.rng.Float64()*(c.weight+j.weight) < c.weight {
+		return c.rep
+	}
+	return j.rep
+}

@@ -1,0 +1,131 @@
+package dly
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"costdist/internal/grid"
+)
+
+var buf = Buffer{ROut: 200, CIn: 1.2, Intrinsic: 8}
+
+func TestOptimalSpacingIsOptimal(t *testing.T) {
+	// D(ℓ)/ℓ at ℓ* must beat nearby spacings.
+	for _, rc := range [][2]float64{{800, 0.18}, {200, 0.2}, {64, 0.22}} {
+		r, c := rc[0], rc[1]
+		ls := OptimalSpacing(r, c, buf)
+		best := SegmentDelay(r, c, ls, buf) / ls
+		for _, f := range []float64{0.5, 0.8, 0.95, 1.05, 1.2, 2.0} {
+			l := ls * f
+			if got := SegmentDelay(r, c, l, buf) / l; got < best-1e-9 {
+				t.Fatalf("r=%v c=%v: spacing %v beats optimum (%v < %v)", r, c, l, got, best)
+			}
+		}
+	}
+}
+
+func TestDelayPerUMMonotoneInR(t *testing.T) {
+	// Faster metal (lower r) must yield lower delay per µm.
+	prev := math.Inf(1)
+	for _, r := range []float64{800, 400, 200, 100, 50} {
+		d := DelayPerUM(r, 0.2, buf)
+		if d >= prev {
+			t.Fatalf("delay/µm not decreasing: r=%v d=%v prev=%v", r, d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestBifPenaltyPositiveAndSmall(t *testing.T) {
+	f := func(rRaw, cRaw uint8) bool {
+		r := 20 + float64(rRaw)*5 // 20..1295 Ω/µm
+		c := 0.1 + float64(cRaw)/500.0
+		p := BifPenalty(r, c, buf)
+		l := OptimalSpacing(r, c, buf)
+		seg := SegmentDelay(r, c, l, buf)
+		// Penalty is positive and below one full repeater segment delay.
+		return p > 0 && p < seg
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDbifMinimizesOverStack(t *testing.T) {
+	tech := DefaultTech(9)
+	d := tech.Dbif()
+	if d <= 0 {
+		t.Fatalf("Dbif = %v", d)
+	}
+	for _, lay := range tech.Layers {
+		for _, w := range lay.Wires {
+			if p := BifPenalty(w.RPerUM, w.CPerUM, tech.Buf); p < d-1e-12 {
+				t.Fatalf("Dbif %v not minimal: %s gives %v", d, w.Name, p)
+			}
+		}
+	}
+}
+
+func TestDefaultTechShape(t *testing.T) {
+	for _, n := range []int{7, 8, 9, 15} {
+		tech := DefaultTech(n)
+		if len(tech.Layers) != n {
+			t.Fatalf("layer count %d", len(tech.Layers))
+		}
+		for i, lay := range tech.Layers {
+			wantDir := grid.DirH
+			if i%2 == 1 {
+				wantDir = grid.DirV
+			}
+			if lay.Dir != wantDir {
+				t.Fatalf("layer %d direction %v", i, lay.Dir)
+			}
+			if len(lay.Wires) == 0 {
+				t.Fatalf("layer %d has no wires", i)
+			}
+		}
+		// Top layer must be faster (per µm) than bottom layer.
+		top := tech.Layers[n-1].Wires[0]
+		bot := tech.Layers[0].Wires[0]
+		if DelayPerUM(top.RPerUM, top.CPerUM, tech.Buf) >= DelayPerUM(bot.RPerUM, bot.CPerUM, tech.Buf) {
+			t.Fatal("top layer not faster than bottom")
+		}
+	}
+}
+
+func TestBuildLayers(t *testing.T) {
+	tech := DefaultTech(8)
+	layers := tech.BuildLayers()
+	if len(layers) != 8 {
+		t.Fatalf("built %d layers", len(layers))
+	}
+	for i, gl := range layers {
+		if len(gl.Wires) != len(tech.Layers[i].Wires) {
+			t.Fatalf("layer %d wire count mismatch", i)
+		}
+		for j, w := range gl.Wires {
+			if w.DelayPerGCell <= 0 || w.CostPerGCell <= 0 {
+				t.Fatalf("layer %d wire %d has nonpositive params: %+v", i, j, w)
+			}
+			wantDelay := DelayPerUM(tech.Layers[i].Wires[j].RPerUM, tech.Layers[i].Wires[j].CPerUM, tech.Buf) * tech.GCellUM
+			if math.Abs(w.DelayPerGCell-wantDelay) > 1e-9 {
+				t.Fatalf("delay per gcell mismatch: %v vs %v", w.DelayPerGCell, wantDelay)
+			}
+		}
+		// Wide wires must be faster and use more capacity.
+		if len(gl.Wires) == 2 {
+			if gl.Wires[1].DelayPerGCell >= gl.Wires[0].DelayPerGCell {
+				t.Fatalf("layer %d wide wire not faster", i)
+			}
+			if gl.Wires[1].CapUse <= gl.Wires[0].CapUse {
+				t.Fatalf("layer %d wide wire not wider", i)
+			}
+		}
+	}
+	// The stack must be usable by grid.New.
+	g := grid.New(10, 10, layers, tech.GCellUM)
+	if g.NumV() != 10*10*8 {
+		t.Fatalf("NumV = %d", g.NumV())
+	}
+}

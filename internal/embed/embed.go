@@ -1,0 +1,259 @@
+// Package embed maps a Steiner topology into the 3D global routing
+// graph, minimizing the cost-distance objective (1). This is the
+// "Dijkstra-style embedding" of ref [13] that the paper's three baseline
+// algorithms (L1, SL, PD) use after constructing their topology in the
+// plane (§IV-A): terminals are pinned to their graph vertices, Steiner
+// vertices float freely, and every topology edge above a subtree with
+// total sink weight W is routed under the metric c(e) + W·d(e), which is
+// exactly that edge's contribution to (1). Bifurcation penalties are
+// constants per branching (λ per eq. (2)) and are added to the objective
+// estimate.
+//
+// The embedding is a two-pass dynamic program over a dense window:
+// bottom-up, each topology node v gets a table D_v(x) = cost of
+// embedding v's subtree with v at graph vertex x (children tables are
+// spread toward the parent by a multi-source Dijkstra); top-down, the
+// optimal vertex choices and paths are reconstructed by re-running each
+// spread with parent tracking. Tables are float32 to halve memory;
+// spreads run at most twice, so no per-edge parent arrays are retained.
+package embed
+
+import (
+	"fmt"
+	"math"
+
+	"costdist/internal/grid"
+	"costdist/internal/heaps"
+	"costdist/internal/nets"
+)
+
+var inf32 = float32(math.Inf(1))
+
+// Result carries the embedded tree and the DP's objective estimate
+// (congestion cost + weighted delays + bifurcation penalty constants).
+// The estimate can differ from nets.Evaluate when reconstructed paths
+// overlap and the union is pruned back to a tree (pruning only removes
+// cost), or when the embedded tree's incidental branch structure shifts
+// λ assignments.
+type Result struct {
+	Tree     *nets.RTree
+	Estimate float64
+}
+
+// Embed embeds the topology into in.G within in.Win. The topology is
+// canonicalized first, so any valid PlaneTree is accepted.
+func Embed(in *nets.Instance, tree *nets.PlaneTree) (*Result, error) {
+	sinkW := make([]float64, len(in.Sinks))
+	for i, s := range in.Sinks {
+		sinkW[i] = s.W
+	}
+	ct := tree.Canonicalize(sinkW, in.DBif, in.Eta)
+	if err := ct.Validate(len(in.Sinks)); err != nil {
+		return nil, fmt.Errorf("embed: %w", err)
+	}
+	kids := ct.Children()
+	if len(kids[0]) == 0 {
+		return &Result{Tree: &nets.RTree{}}, nil
+	}
+
+	win := in.G.NewWindow(in.Win)
+	e := &embedder{in: in, ct: ct, kids: kids, win: win, size: win.Size()}
+	e.subW = make([]float64, len(ct.Nodes))
+	e.computeSubW(0)
+	e.acc = make([][]float32, len(ct.Nodes))
+	e.dist = make([]float64, e.size)
+	e.pred = make([]int32, e.size)
+	e.parc = make([]grid.Arc, e.size)
+	e.touched = make([]uint32, e.size)
+	e.settled = make([]uint32, e.size)
+
+	rootIdx := win.Index(in.Root)
+	if rootIdx < 0 {
+		return nil, fmt.Errorf("embed: root outside window")
+	}
+
+	// Bottom-up tables.
+	penalty := 0.0
+	var up func(v int32) error
+	up = func(v int32) error {
+		for _, c := range kids[v] {
+			if err := up(c); err != nil {
+				return err
+			}
+		}
+		p, err := e.accumulate(v)
+		penalty += p
+		return err
+	}
+	top := kids[0][0]
+	if err := up(top); err != nil {
+		return nil, err
+	}
+
+	// Top edge: spread the root's single child toward the root vertex.
+	e.spread(top, rootIdx)
+	if e.settled[rootIdx] != e.epoch {
+		return nil, fmt.Errorf("embed: root unreachable in window")
+	}
+	estimate := e.dist[rootIdx] + penalty
+
+	// Top-down reconstruction. The spread of node v must be live in the
+	// workspace when tracing v; children are re-spread on demand.
+	var steps []nets.Step
+	var down func(v, atIdx int32) error
+	down = func(v, atIdx int32) error {
+		cur := atIdx
+		for e.pred[cur] >= 0 {
+			p := e.pred[cur]
+			steps = append(steps, nets.Step{From: win.Vertex(p), Arc: e.parc[cur]})
+			cur = p
+		}
+		for _, c := range kids[v] {
+			e.spread(c, cur)
+			if e.settled[cur] != e.epoch {
+				return fmt.Errorf("embed: reconstruction target unreachable")
+			}
+			if err := down(c, cur); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := down(top, rootIdx); err != nil {
+		return nil, err
+	}
+
+	rt, err := nets.PruneToTree(in, steps)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Tree: rt, Estimate: estimate}, nil
+}
+
+type embedder struct {
+	in   *nets.Instance
+	ct   *nets.PlaneTree
+	kids [][]int32
+	win  grid.Window
+	size int32
+	subW []float64
+
+	// acc[v] is D_v: min subtree cost with node v embedded at each
+	// window vertex. Kept for the whole run (float32) because the
+	// top-down pass re-seeds spreads from it.
+	acc [][]float32
+
+	// Dijkstra workspace, epoch-stamped to avoid O(window) clears.
+	dist    []float64
+	pred    []int32
+	parc    []grid.Arc
+	touched []uint32
+	settled []uint32
+	epoch   uint32
+	heap    heaps.Lazy[int32]
+}
+
+func (e *embedder) computeSubW(v int32) float64 {
+	w := 0.0
+	if s := e.ct.Nodes[v].SinkIdx; s >= 0 {
+		w = e.in.Sinks[s].W
+	}
+	for _, c := range e.kids[v] {
+		w += e.computeSubW(c)
+	}
+	e.subW[v] = w
+	return w
+}
+
+// accumulate builds acc[v] and returns the bifurcation penalty constant
+// incurred at v (β of the two child subtree weights for binary nodes).
+func (e *embedder) accumulate(v int32) (float64, error) {
+	n := e.ct.Nodes[v]
+	tbl := make([]float32, e.size)
+	if n.SinkIdx >= 0 {
+		for i := range tbl {
+			tbl[i] = inf32
+		}
+		idx := e.win.Index(e.in.Sinks[n.SinkIdx].V)
+		if idx < 0 {
+			return 0, fmt.Errorf("embed: sink %d outside window", n.SinkIdx)
+		}
+		tbl[idx] = 0
+		e.acc[v] = tbl
+		return 0, nil
+	}
+	ch := e.kids[v]
+	for i, c := range ch {
+		e.spread(c, -1)
+		if i == 0 {
+			for x := int32(0); x < e.size; x++ {
+				if e.settled[x] == e.epoch {
+					tbl[x] = float32(e.dist[x])
+				} else {
+					tbl[x] = inf32
+				}
+			}
+		} else {
+			for x := int32(0); x < e.size; x++ {
+				if e.settled[x] == e.epoch && tbl[x] < inf32 {
+					tbl[x] += float32(e.dist[x])
+				} else {
+					tbl[x] = inf32
+				}
+			}
+		}
+	}
+	e.acc[v] = tbl
+	pen := 0.0
+	if len(ch) == 2 {
+		pen = nets.Beta(e.in.DBif, e.in.Eta, e.subW[ch[0]], e.subW[ch[1]])
+	}
+	return pen, nil
+}
+
+// spread runs a multi-source Dijkstra seeded with acc[c] under the
+// metric cost + subW[c]·delay, filling the workspace. If target ≥ 0 the
+// search stops as soon as that window index settles; with target -1 it
+// exhausts the window (needed when building parent tables).
+func (e *embedder) spread(c, target int32) {
+	w := e.subW[c]
+	e.epoch++
+	e.heap.Reset()
+	seeds := e.acc[c]
+	costs := e.in.C
+	g := e.in.G
+	for x := int32(0); x < e.size; x++ {
+		if seeds[x] < inf32 {
+			e.dist[x] = float64(seeds[x])
+			e.pred[x] = -1
+			e.touched[x] = e.epoch
+			e.heap.Push(e.dist[x], x)
+		}
+	}
+	for e.heap.Len() > 0 {
+		k, x := e.heap.Pop()
+		if e.settled[x] == e.epoch || k > e.dist[x] {
+			continue
+		}
+		e.settled[x] = e.epoch
+		if x == target {
+			return
+		}
+		v := e.win.Vertex(x)
+		g.Arcs(v, e.win.R, func(a grid.Arc) bool {
+			y := e.win.Index(a.To)
+			if y < 0 || e.settled[y] == e.epoch {
+				return true
+			}
+			nd := k + costs.ArcCost(a) + w*costs.ArcDelay(a)
+			if e.touched[y] != e.epoch || nd < e.dist[y] {
+				e.dist[y] = nd
+				e.pred[y] = x
+				e.parc[y] = a
+				e.touched[y] = e.epoch
+				e.heap.Push(nd, y)
+			}
+			return true
+		})
+	}
+}

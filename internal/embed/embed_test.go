@@ -1,0 +1,255 @@
+package embed
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"costdist/internal/dly"
+	"costdist/internal/geom"
+	"costdist/internal/grid"
+	"costdist/internal/heaps"
+	"costdist/internal/nets"
+	"costdist/internal/rsmt"
+)
+
+func testInstance(nx, ny int32, nLayers int, sinks []nets.Sink, root grid.V, g *grid.Graph) *nets.Instance {
+	in := &nets.Instance{
+		G: g, C: grid.NewCosts(g), Root: root, Sinks: sinks,
+		DBif: 0, Eta: 0.25,
+	}
+	in.Win = g.FullWindow()
+	return in
+}
+
+func newGraph(nx, ny int32, nLayers int) *grid.Graph {
+	tech := dly.DefaultTech(nLayers)
+	return grid.New(nx, ny, tech.BuildLayers(), tech.GCellUM)
+}
+
+// dijkstra computes the exact shortest c+w·d distance between two
+// vertices, independently of the embed machinery.
+func dijkstra(g *grid.Graph, c *grid.Costs, w float64, from, to grid.V) float64 {
+	dist := map[grid.V]float64{from: 0}
+	done := map[grid.V]bool{}
+	var h heaps.Lazy[grid.V]
+	h.Push(0, from)
+	for h.Len() > 0 {
+		k, v := h.Pop()
+		if done[v] {
+			continue
+		}
+		done[v] = true
+		if v == to {
+			return k
+		}
+		g.Arcs(v, g.FullWindow(), func(a grid.Arc) bool {
+			nd := k + c.ArcCost(a) + w*c.ArcDelay(a)
+			if d, ok := dist[a.To]; !ok || nd < d {
+				dist[a.To] = nd
+				h.Push(nd, a.To)
+			}
+			return true
+		})
+	}
+	return math.Inf(1)
+}
+
+func TestSingleSinkMatchesShortestPath(t *testing.T) {
+	g := newGraph(12, 12, 4)
+	rng := rand.New(rand.NewPCG(5, 8))
+	for it := 0; it < 20; it++ {
+		root := g.At(rng.Int32N(12), rng.Int32N(12), 0)
+		sink := g.At(rng.Int32N(12), rng.Int32N(12), 0)
+		if root == sink {
+			continue
+		}
+		w := rng.Float64() * 3
+		in := testInstance(12, 12, 4, []nets.Sink{{V: sink, W: w}}, root, g)
+		topo := rsmt.Build(in.TermPts())
+		res, err := Embed(in, topo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := dijkstra(g, in.C, w, sink, root)
+		if math.Abs(res.Estimate-want) > 1e-6*math.Max(1, want) {
+			t.Fatalf("estimate %v want %v", res.Estimate, want)
+		}
+		ev, err := nets.Evaluate(in, res.Tree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(ev.Total-want) > 1e-6*math.Max(1, want) {
+			t.Fatalf("evaluated %v want %v", ev.Total, want)
+		}
+	}
+}
+
+func TestEvaluateMatchesEstimateOnTrees(t *testing.T) {
+	// When reconstructed paths don't overlap, Evaluate should reproduce
+	// the DP estimate (dbif=0 so λ assignment can't shift).
+	g := newGraph(16, 16, 4)
+	rng := rand.New(rand.NewPCG(9, 1))
+	agree := 0
+	for it := 0; it < 30; it++ {
+		n := 2 + rng.IntN(5)
+		sinks := make([]nets.Sink, n)
+		for i := range sinks {
+			sinks[i] = nets.Sink{V: g.At(rng.Int32N(16), rng.Int32N(16), 0), W: rng.Float64() * 2}
+		}
+		in := testInstance(16, 16, 4, sinks, g.At(rng.Int32N(16), rng.Int32N(16), 0), g)
+		topo := rsmt.Build(in.TermPts())
+		res, err := Embed(in, topo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev, err := nets.Evaluate(in, res.Tree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Pruning can only reduce cost below the estimate.
+		if ev.Total > res.Estimate+1e-6*math.Max(1, res.Estimate) {
+			t.Fatalf("evaluated %v exceeds estimate %v", ev.Total, res.Estimate)
+		}
+		if math.Abs(ev.Total-res.Estimate) < 1e-6*math.Max(1, res.Estimate) {
+			agree++
+		}
+	}
+	if agree < 15 {
+		t.Fatalf("estimate agreed on only %d/30 instances — suspicious DP", agree)
+	}
+}
+
+func TestEmbedPrefersFastLayersForCriticalNets(t *testing.T) {
+	// With a heavy delay weight the embedding should climb to fast upper
+	// layers; with weight 0 it should stay low (vias cost, no benefit).
+	g := newGraph(24, 4, 8)
+	root := g.At(0, 0, 0)
+	sink := g.At(23, 0, 0)
+	topoPts := []nets.Sink{{V: sink, W: 0}}
+	in := testInstance(24, 4, 8, topoPts, root, g)
+	topo := rsmt.Build(in.TermPts())
+	cheap, err := Embed(in, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in2 := testInstance(24, 4, 8, []nets.Sink{{V: sink, W: 50}}, root, g)
+	fast, err := Embed(in2, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxLayer := func(tr *nets.RTree) int32 {
+		var m int32
+		for _, st := range tr.Steps {
+			_, _, l := g.XYL(st.Arc.To)
+			if l > m {
+				m = l
+			}
+		}
+		return m
+	}
+	if maxLayer(cheap.Tree) >= maxLayer(fast.Tree) {
+		t.Fatalf("critical net did not climb layers: cheap max %d, fast max %d", maxLayer(cheap.Tree), maxLayer(fast.Tree))
+	}
+	evCheap, _ := nets.Evaluate(in2, cheap.Tree)
+	evFast, err := nets.Evaluate(in2, fast.Tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evFast.Total > evCheap.Total {
+		t.Fatalf("fast embedding worse under heavy weight: %v vs %v", evFast.Total, evCheap.Total)
+	}
+}
+
+func TestEmbedAvoidsCongestion(t *testing.T) {
+	// Price a wall of segments; the embedding should detour around it.
+	g := newGraph(10, 10, 2)
+	c := grid.NewCosts(g)
+	// Wall at x=4..5 on layer 0 rows 0..8 (leave row 9 open).
+	for y := int32(0); y < 9; y++ {
+		c.Mult[g.SegH(0, y, 4)] = 50
+	}
+	in := &nets.Instance{G: g, C: c, Root: g.At(0, 0, 0),
+		Sinks: []nets.Sink{{V: g.At(9, 0, 0), W: 0}}, Win: g.FullWindow()}
+	topo := rsmt.Build(in.TermPts())
+	res, err := Embed(in, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range res.Tree.Steps {
+		if !st.Arc.Via && c.Mult[st.Arc.Seg] > 1 {
+			t.Fatalf("embedding used priced segment %d", st.Arc.Seg)
+		}
+	}
+}
+
+func TestEmbedMultiSinkValidity(t *testing.T) {
+	g := newGraph(20, 20, 5)
+	rng := rand.New(rand.NewPCG(11, 12))
+	for it := 0; it < 25; it++ {
+		n := 2 + rng.IntN(12)
+		sinks := make([]nets.Sink, n)
+		for i := range sinks {
+			sinks[i] = nets.Sink{
+				V: g.At(rng.Int32N(20), rng.Int32N(20), rng.Int32N(2)),
+				W: rng.Float64() * 3,
+			}
+		}
+		in := &nets.Instance{G: g, C: grid.NewCosts(g), Root: g.At(rng.Int32N(20), rng.Int32N(20), 0),
+			Sinks: sinks, DBif: 3, Eta: 0.25, Win: g.FullWindow()}
+		topo := rsmt.Build(in.TermPts())
+		res, err := Embed(in, topo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := nets.Evaluate(in, res.Tree); err != nil {
+			t.Fatalf("invalid embedded tree: %v", err)
+		}
+	}
+}
+
+func TestEmbedWindowed(t *testing.T) {
+	// A restricted window must still produce a valid tree when all
+	// terminals are inside it.
+	g := newGraph(30, 30, 4)
+	in := &nets.Instance{G: g, C: grid.NewCosts(g), Root: g.At(10, 10, 0),
+		Sinks: []nets.Sink{{V: g.At(14, 12, 0), W: 1}, {V: g.At(12, 15, 0), W: 2}}}
+	in.Win = in.DefaultWindow(3)
+	topo := rsmt.Build(in.TermPts())
+	res, err := Embed(in, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nets.Evaluate(in, res.Tree); err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range res.Tree.Steps {
+		if !in.Win.Contains(g.Pt(st.From)) || !in.Win.Contains(g.Pt(st.Arc.To)) {
+			t.Fatalf("step escapes window")
+		}
+	}
+}
+
+func TestEmbedSinkOutsideWindowFails(t *testing.T) {
+	g := newGraph(30, 30, 4)
+	in := &nets.Instance{G: g, C: grid.NewCosts(g), Root: g.At(1, 1, 0),
+		Sinks: []nets.Sink{{V: g.At(25, 25, 0), W: 1}}}
+	in.Win = geom.Rect{X0: 0, Y0: 0, X1: 5, Y1: 5}
+	topo := rsmt.Build(in.TermPts())
+	if _, err := Embed(in, topo); err == nil {
+		t.Fatal("expected error for sink outside window")
+	}
+}
+
+func TestEmbedZeroSinks(t *testing.T) {
+	g := newGraph(5, 5, 2)
+	in := &nets.Instance{G: g, C: grid.NewCosts(g), Root: g.At(1, 1, 0), Win: g.FullWindow()}
+	topo := rsmt.Build(in.TermPts())
+	res, err := Embed(in, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tree.Steps) != 0 {
+		t.Fatal("zero-sink net should have empty tree")
+	}
+}

@@ -1,0 +1,210 @@
+package exact
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"costdist/internal/dly"
+	"costdist/internal/embed"
+	"costdist/internal/grid"
+	"costdist/internal/heaps"
+	"costdist/internal/nets"
+	"costdist/internal/rsmt"
+)
+
+func newGraph(nx, ny int32, nLayers int) (*grid.Graph, *grid.Costs) {
+	tech := dly.DefaultTech(nLayers)
+	g := grid.New(nx, ny, tech.BuildLayers(), tech.GCellUM)
+	return g, grid.NewCosts(g)
+}
+
+func dijkstraDist(g *grid.Graph, c *grid.Costs, w float64, from, to grid.V) float64 {
+	dist := map[grid.V]float64{from: 0}
+	var h heaps.Lazy[grid.V]
+	h.Push(0, from)
+	for h.Len() > 0 {
+		k, v := h.Pop()
+		if k > dist[v] {
+			continue
+		}
+		if v == to {
+			return k
+		}
+		g.Arcs(v, g.FullWindow(), func(a grid.Arc) bool {
+			nd := k + c.ArcCost(a) + w*c.ArcDelay(a)
+			if d, ok := dist[a.To]; !ok || nd < d {
+				dist[a.To] = nd
+				h.Push(nd, a.To)
+			}
+			return true
+		})
+	}
+	return math.Inf(1)
+}
+
+func TestSingleSinkEqualsDijkstra(t *testing.T) {
+	g, c := newGraph(8, 8, 3)
+	rng := rand.New(rand.NewPCG(1, 9))
+	for it := 0; it < 15; it++ {
+		in := &nets.Instance{
+			G: g, C: c,
+			Root:  g.At(rng.Int32N(8), rng.Int32N(8), 0),
+			Sinks: []nets.Sink{{V: g.At(rng.Int32N(8), rng.Int32N(8), 0), W: rng.Float64() * 2}},
+			Win:   g.FullWindow(),
+		}
+		res, err := Solve(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := dijkstraDist(g, c, in.Sinks[0].W, in.Sinks[0].V, in.Root)
+		if math.Abs(res.Total-want) > 1e-9*math.Max(1, want) {
+			t.Fatalf("exact %v want %v", res.Total, want)
+		}
+		if math.Abs(res.LowerBound-want) > 1e-9*math.Max(1, want) {
+			t.Fatalf("lower bound %v want %v", res.LowerBound, want)
+		}
+	}
+}
+
+func TestBoundsConsistent(t *testing.T) {
+	g, c := newGraph(7, 7, 3)
+	rng := rand.New(rand.NewPCG(21, 2))
+	gaps := 0
+	for it := 0; it < 30; it++ {
+		k := 2 + rng.IntN(3)
+		sinks := make([]nets.Sink, k)
+		for i := range sinks {
+			sinks[i] = nets.Sink{V: g.At(rng.Int32N(7), rng.Int32N(7), 0), W: 0.2 + rng.Float64()}
+		}
+		in := &nets.Instance{G: g, C: c, Root: g.At(rng.Int32N(7), rng.Int32N(7), 0),
+			Sinks: sinks, DBif: rng.Float64() * 20, Eta: 0.25, Win: g.FullWindow()}
+		res, err := Solve(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev, err := nets.Evaluate(in, res.Tree)
+		if err != nil {
+			t.Fatalf("exact tree invalid: %v", err)
+		}
+		if math.Abs(ev.Total-res.Total) > 1e-9*math.Max(1, res.Total) {
+			t.Fatalf("Total %v is not the evaluated objective %v", res.Total, ev.Total)
+		}
+		if res.LowerBound > res.Total+1e-6*math.Max(1, res.Total) {
+			t.Fatalf("lower bound %v exceeds feasible total %v", res.LowerBound, res.Total)
+		}
+		if res.Total > res.LowerBound+1e-9 {
+			gaps++
+		}
+	}
+	if gaps > 10 {
+		t.Fatalf("bound gap on %d/30 instances — DP suspiciously loose", gaps)
+	}
+}
+
+func TestExactWithZeroDbifIsTight(t *testing.T) {
+	// With dbif = 0 shared edges cannot hide penalties, so the DP value
+	// must be achieved exactly by the reconstructed tree.
+	g, c := newGraph(7, 7, 3)
+	rng := rand.New(rand.NewPCG(4, 4))
+	for it := 0; it < 25; it++ {
+		k := 2 + rng.IntN(4)
+		sinks := make([]nets.Sink, k)
+		for i := range sinks {
+			sinks[i] = nets.Sink{V: g.At(rng.Int32N(7), rng.Int32N(7), 0), W: 0.2 + rng.Float64()}
+		}
+		in := &nets.Instance{G: g, C: c, Root: g.At(rng.Int32N(7), rng.Int32N(7), 0),
+			Sinks: sinks, DBif: 0, Eta: 0.25, Win: g.FullWindow()}
+		res, err := Solve(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(res.Total-res.LowerBound) > 1e-6*math.Max(1, res.LowerBound) {
+			t.Fatalf("dbif=0 gap: total %v vs bound %v", res.Total, res.LowerBound)
+		}
+	}
+}
+
+func TestCollinearHandComputed(t *testing.T) {
+	g, c := newGraph(6, 2, 4) // layer 0 has a single wire type for 4 layers
+	d0 := g.Layers[0].Wires[0].DelayPerGCell
+	in := &nets.Instance{
+		G: g, C: c, Root: g.At(0, 0, 0),
+		Sinks: []nets.Sink{
+			{V: g.At(1, 0, 0), W: 0.001},
+			{V: g.At(3, 0, 0), W: 0.001},
+		},
+		Win: g.FullWindow(),
+	}
+	res, err := Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 3.0 + 0.001*d0 + 0.001*3*d0
+	if math.Abs(res.Total-want) > 1e-9 {
+		t.Fatalf("collinear optimum %v want %v", res.Total, want)
+	}
+}
+
+func TestExactNeverWorseThanEmbeddedRSMT(t *testing.T) {
+	g, c := newGraph(9, 9, 3)
+	rng := rand.New(rand.NewPCG(5, 5))
+	for i := range c.Mult {
+		if rng.IntN(5) == 0 {
+			c.Mult[i] = 1 + 5*rng.Float32()
+		}
+	}
+	for it := 0; it < 15; it++ {
+		k := 2 + rng.IntN(4)
+		sinks := make([]nets.Sink, k)
+		for i := range sinks {
+			sinks[i] = nets.Sink{V: g.At(rng.Int32N(9), rng.Int32N(9), 0), W: rng.Float64() * 2}
+		}
+		in := &nets.Instance{G: g, C: c, Root: g.At(rng.Int32N(9), rng.Int32N(9), 0),
+			Sinks: sinks, DBif: rng.Float64() * 10, Eta: 0.25, Win: g.FullWindow()}
+		res, err := Solve(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		er, err := embed.Embed(in, rsmt.Build(in.TermPts()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev, err := nets.Evaluate(in, er.Tree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.LowerBound > ev.Total+1e-6*math.Max(1, ev.Total) {
+			t.Fatalf("lower bound %v above heuristic %v", res.LowerBound, ev.Total)
+		}
+		if res.Total > ev.Total+1e-6*math.Max(1, ev.Total) {
+			// The DP's feasible tree should also beat or match a plain
+			// embedded RSMT: it optimizes the same objective globally.
+			t.Fatalf("exact tree %v worse than heuristic %v", res.Total, ev.Total)
+		}
+	}
+}
+
+func TestSizeLimits(t *testing.T) {
+	g, c := newGraph(6, 6, 2)
+	sinks := make([]nets.Sink, maxSinks+1)
+	for i := range sinks {
+		sinks[i] = nets.Sink{V: g.At(int32(i%6), int32(i/6), 0), W: 1}
+	}
+	in := &nets.Instance{G: g, C: c, Root: g.At(0, 0, 0), Sinks: sinks, Win: g.FullWindow()}
+	if _, err := Solve(in); err == nil {
+		t.Fatal("expected sink-limit error")
+	}
+}
+
+func TestZeroSinks(t *testing.T) {
+	g, c := newGraph(4, 4, 2)
+	in := &nets.Instance{G: g, C: c, Root: g.At(0, 0, 0), Win: g.FullWindow()}
+	res, err := Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total != 0 || len(res.Tree.Steps) != 0 {
+		t.Fatalf("zero-sink: %+v", res)
+	}
+}

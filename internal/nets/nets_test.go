@@ -1,0 +1,119 @@
+package nets
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestBetaBasics(t *testing.T) {
+	if got := Beta(10, 0.25, 4, 1); math.Abs(got-(10*(0.25*4+0.75*1))) > 1e-12 {
+		t.Fatalf("Beta = %v", got)
+	}
+	// Symmetry.
+	f := func(w1, w2 uint16) bool {
+		a, b := float64(w1), float64(w2)
+		return Beta(3, 0.3, a, b) == Beta(3, 0.3, b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	// η = 0.5 gives the symmetric split dbif·(w1+w2)/2.
+	if got := Beta(2, 0.5, 3, 5); math.Abs(got-8) > 1e-12 {
+		t.Fatalf("Beta eta=0.5: %v", got)
+	}
+	// η = 0: all penalty on the lighter branch.
+	if got := Beta(2, 0, 3, 5); math.Abs(got-6) > 1e-12 {
+		t.Fatalf("Beta eta=0: %v", got)
+	}
+}
+
+func TestSplitPenaltiesDegenerate(t *testing.T) {
+	if p := SplitPenalties(5, 0.25, nil); len(p) != 0 {
+		t.Fatal("nil weights")
+	}
+	p := SplitPenalties(5, 0.25, []float64{3})
+	if len(p) != 1 || p[0] != 0 {
+		t.Fatalf("single group: %v", p)
+	}
+	p = SplitPenalties(0, 0.25, []float64{3, 4, 5})
+	for _, v := range p {
+		if v != 0 {
+			t.Fatalf("dbif=0 must give zero penalties: %v", p)
+		}
+	}
+}
+
+func TestSplitPenaltiesPair(t *testing.T) {
+	dbif, eta := 8.0, 0.25
+	p := SplitPenalties(dbif, eta, []float64{5, 2})
+	// Heavier group 0 gets η share.
+	if math.Abs(p[0]-eta*dbif) > 1e-12 || math.Abs(p[1]-(1-eta)*dbif) > 1e-12 {
+		t.Fatalf("pair penalties %v", p)
+	}
+	p = SplitPenalties(dbif, eta, []float64{2, 2})
+	if math.Abs(p[0]-4) > 1e-12 || math.Abs(p[1]-4) > 1e-12 {
+		t.Fatalf("equal pair penalties %v", p)
+	}
+}
+
+func TestSplitPenaltiesMatchesExactMin(t *testing.T) {
+	// For k ≤ 5 the binarization is exhaustive, so the weighted total
+	// must equal the exact minimum over all merge orders.
+	rng := rand.New(rand.NewPCG(5, 6))
+	for _, eta := range []float64{0, 0.25, 0.5} {
+		for it := 0; it < 100; it++ {
+			k := 2 + rng.IntN(4)
+			ws := make([]float64, k)
+			for i := range ws {
+				ws[i] = float64(1 + rng.IntN(20))
+			}
+			dbif := 1 + rng.Float64()*10
+			p := SplitPenalties(dbif, eta, ws)
+			got := 0.0
+			for i := range ws {
+				got += ws[i] * p[i]
+			}
+			want := MinSplitPenaltyCost(dbif, eta, ws)
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("eta=%v ws=%v: weighted penalty %v want %v", eta, ws, got, want)
+			}
+		}
+	}
+}
+
+func TestSplitPenaltiesInvariants(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 4))
+	for it := 0; it < 200; it++ {
+		k := 2 + rng.IntN(8) // exercises both exact and greedy paths
+		ws := make([]float64, k)
+		for i := range ws {
+			ws[i] = rng.Float64() * 10
+		}
+		dbif, eta := 4.0, 0.2
+		p := SplitPenalties(dbif, eta, ws)
+		for i, v := range p {
+			// Every group is on one side of at least one merge and at
+			// most k-1 merges; each merge contributes within [η,1−η]·dbif.
+			if v < eta*dbif-1e-9 || v > float64(k-1)*(1-eta)*dbif+1e-9 {
+				t.Fatalf("penalty %d = %v out of bounds (k=%d)", i, v, k)
+			}
+		}
+	}
+}
+
+func TestMinSplitPenaltyCostOrderMatters(t *testing.T) {
+	// η=0 heavy-spine example from the design discussion: {10,1,1}
+	// caterpillar over the heavy group costs 2·dbif, lightest-first 3·dbif.
+	want := 2.0
+	if got := MinSplitPenaltyCost(1, 0, []float64{10, 1, 1}); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("exact min = %v want %v", got, want)
+	}
+	// SplitPenalties (exact for k=3) must achieve it.
+	p := SplitPenalties(1, 0, []float64{10, 1, 1})
+	got := 10*p[0] + p[1] + p[2]
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("SplitPenalties weighted cost %v want %v", got, want)
+	}
+}

@@ -1,0 +1,244 @@
+package nets
+
+import (
+	"fmt"
+
+	"costdist/internal/grid"
+)
+
+// Step is one directed edge of an embedded tree: the arc taken from
+// vertex From (Arc.To is the head).
+type Step struct {
+	From grid.V
+	Arc  grid.Arc
+}
+
+// RTree is a Steiner tree embedded in the routing graph: a set of steps
+// whose undirected union forms a tree over the touched vertices,
+// containing the root and all sinks of its instance.
+type RTree struct {
+	Steps []Step
+}
+
+// Eval is the decomposition of objective (1)+(3) for an embedded tree.
+type Eval struct {
+	// CongCost is Σ c(e) over tree edges.
+	CongCost float64
+	// DelayCost is Σ w(t)·delay(r,t) including bifurcation penalties.
+	DelayCost float64
+	// Total = CongCost + DelayCost, the paper's objective (1).
+	Total float64
+	// SinkDelay is delay_T(r,t) per sink (eq. (3)), in ps.
+	SinkDelay []float64
+	// WireSteps and Vias count non-via and via tree edges.
+	WireSteps, Vias int
+	// TrackGCells is the capacity-weighted wirelength in gcell units.
+	TrackGCells float64
+}
+
+type halfEdge struct {
+	to  grid.V
+	arc grid.Arc
+}
+
+// PruneToTree turns an arbitrary multiset of steps into a valid RTree
+// for the instance: duplicate undirected edges are removed, a BFS
+// spanning tree of the union is kept (rooted at the instance root), and
+// dangling stubs ending at non-terminals are trimmed. Construction
+// algorithms whose path unions may overlap (topology embedding, the
+// exact DP) funnel their output through this function; pruning can only
+// remove congestion cost. It errors if some sink is disconnected.
+func PruneToTree(in *Instance, steps []Step) (*RTree, error) {
+	adj := make(map[grid.V][]Step)
+	seen := make(map[[2]int64]bool, len(steps))
+	for _, st := range steps {
+		a, b := int64(st.From), int64(st.Arc.To)
+		if a > b {
+			a, b = b, a
+		}
+		key := [2]int64{a, b}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		adj[st.From] = append(adj[st.From], st)
+		rev := Step{From: st.Arc.To, Arc: st.Arc}
+		rev.Arc.To = st.From
+		adj[st.Arc.To] = append(adj[st.Arc.To], rev)
+	}
+	out := &RTree{}
+	if len(adj) == 0 {
+		for i, s := range in.Sinks {
+			if s.V != in.Root {
+				return nil, fmt.Errorf("nets: sink %d disconnected (empty edge set)", i)
+			}
+		}
+		return out, nil
+	}
+	visited := map[grid.V]bool{in.Root: true}
+	queue := []grid.V{in.Root}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, st := range adj[v] {
+			if visited[st.Arc.To] {
+				continue
+			}
+			visited[st.Arc.To] = true
+			out.Steps = append(out.Steps, st)
+			queue = append(queue, st.Arc.To)
+		}
+	}
+	for i, s := range in.Sinks {
+		if s.V != in.Root && !visited[s.V] {
+			return nil, fmt.Errorf("nets: sink %d disconnected after pruning", i)
+		}
+	}
+	trimDanglers(in, out)
+	return out, nil
+}
+
+// trimDanglers repeatedly removes leaf edges whose endpoint is neither
+// the root nor a sink. Removing them strictly reduces cost and cannot
+// affect any root-sink path.
+func trimDanglers(in *Instance, rt *RTree) {
+	keep := map[grid.V]bool{in.Root: true}
+	for _, s := range in.Sinks {
+		keep[s.V] = true
+	}
+	for {
+		deg := map[grid.V]int{}
+		for _, st := range rt.Steps {
+			deg[st.From]++
+			deg[st.Arc.To]++
+		}
+		out := rt.Steps[:0]
+		removed := false
+		for _, st := range rt.Steps {
+			aLeaf := deg[st.From] == 1 && !keep[st.From]
+			bLeaf := deg[st.Arc.To] == 1 && !keep[st.Arc.To]
+			if aLeaf || bLeaf {
+				removed = true
+				continue
+			}
+			out = append(out, st)
+		}
+		rt.Steps = out
+		if !removed {
+			return
+		}
+	}
+}
+
+// Evaluate computes objective (1) with the bifurcation delay model (3)
+// for an embedded tree. It validates that the steps form a tree
+// containing root and sinks; all four algorithms are scored through this
+// single function so comparisons are apples-to-apples.
+func Evaluate(in *Instance, tr *RTree) (*Eval, error) {
+	ev := &Eval{SinkDelay: make([]float64, len(in.Sinks))}
+
+	adj := make(map[grid.V][]halfEdge, len(tr.Steps)*2)
+	seenSeg := make(map[[2]int64]bool, len(tr.Steps))
+	for _, st := range tr.Steps {
+		a, b := int64(st.From), int64(st.Arc.To)
+		if a > b {
+			a, b = b, a
+		}
+		key := [2]int64{a, b}
+		if seenSeg[key] {
+			return nil, fmt.Errorf("nets: duplicate tree edge %d-%d", a, b)
+		}
+		seenSeg[key] = true
+		adj[st.From] = append(adj[st.From], halfEdge{to: st.Arc.To, arc: st.Arc})
+		adj[st.Arc.To] = append(adj[st.Arc.To], halfEdge{to: st.From, arc: st.Arc})
+		ev.CongCost += in.C.ArcCost(st.Arc)
+		if st.Arc.Via {
+			ev.Vias++
+		} else {
+			ev.WireSteps++
+			ev.TrackGCells += float64(in.G.ArcCapUse(st.Arc))
+		}
+	}
+	if _, ok := adj[in.Root]; !ok && len(tr.Steps) > 0 {
+		return nil, fmt.Errorf("nets: root %d not in tree", in.Root)
+	}
+
+	// Sinks per vertex.
+	sinksAt := make(map[grid.V][]int32)
+	for i, s := range in.Sinks {
+		sinksAt[s.V] = append(sinksAt[s.V], int32(i))
+	}
+
+	// Iterative rooted DFS: first pass computes subtree sink weights,
+	// second pass pushes delays down with split penalties.
+	parent := make(map[grid.V]grid.V, len(adj))
+	order := make([]grid.V, 0, len(adj))
+	parent[in.Root] = in.Root
+	order = append(order, in.Root)
+	for i := 0; i < len(order); i++ {
+		v := order[i]
+		for _, he := range adj[v] {
+			if _, ok := parent[he.to]; !ok {
+				parent[he.to] = v
+				order = append(order, he.to)
+			}
+		}
+	}
+	if len(order) != len(adj) && len(tr.Steps) > 0 {
+		return nil, fmt.Errorf("nets: tree has %d vertices but only %d reachable from root (cycle or disconnect)", len(adj), len(order))
+	}
+	if len(tr.Steps) != 0 && len(adj) != len(tr.Steps)+1 {
+		return nil, fmt.Errorf("nets: %d edges over %d vertices is not a tree", len(tr.Steps), len(adj))
+	}
+	for i, s := range in.Sinks {
+		if _, ok := parent[s.V]; !ok && s.V != in.Root {
+			return nil, fmt.Errorf("nets: sink %d (vertex %d) not in tree", i, s.V)
+		}
+	}
+
+	// Subtree sink weights, bottom-up.
+	subW := make(map[grid.V]float64, len(order))
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		w := subW[v]
+		for _, si := range sinksAt[v] {
+			w += in.Sinks[si].W
+		}
+		subW[v] = w
+		if v != in.Root {
+			subW[parent[v]] += w
+		}
+	}
+
+	// Top-down delay propagation. delayTo[v] is delay from root to v
+	// including all penalties accumulated on the way.
+	delayTo := make(map[grid.V]float64, len(order))
+	for _, v := range order {
+		d := delayTo[v]
+		// Groups at v: one per child edge, one per sink hosted at v.
+		var ws []float64
+		var childEdges []halfEdge
+		for _, he := range adj[v] {
+			if he.to != v && parent[he.to] == v {
+				childEdges = append(childEdges, he)
+				ws = append(ws, subW[he.to])
+			}
+		}
+		hosted := sinksAt[v]
+		for _, si := range hosted {
+			ws = append(ws, in.Sinks[si].W)
+		}
+		pen := SplitPenalties(in.DBif, in.Eta, ws)
+		for i, he := range childEdges {
+			delayTo[he.to] = d + pen[i] + in.C.ArcDelay(he.arc)
+		}
+		for i, si := range hosted {
+			ev.SinkDelay[si] = d + pen[len(childEdges)+i]
+		}
+	}
+	for i, s := range in.Sinks {
+		ev.DelayCost += s.W * ev.SinkDelay[i]
+	}
+	ev.Total = ev.CongCost + ev.DelayCost
+	return ev, nil
+}

@@ -1,0 +1,188 @@
+// Package pd implements the Prim-Dijkstra baseline (paper §IV-A,
+// refs [2],[3]): sinks are iteratively added to the root component by
+// choosing a sink s and an attachment point — a tree node or a Steiner
+// vertex inserted into an existing tree edge — minimizing a weighted sum
+// of added wirelength and root-to-sink path length,
+//
+//	key(s, x) = L1(x, s) + α·plen(x),
+//
+// the classic PD trade-off with parameter α ∈ [0,1] (α=0 is Prim/MST,
+// α=1 is Dijkstra/shortest paths). Following ref [4] and the paper, a
+// bifurcation penalty is added when the attachment creates a branch: the
+// penalty ℓbif (the delay penalty dbif converted to length units) is
+// distributed to the new branch and the downstream subtree per eq. (2),
+// using the sink delay weights.
+package pd
+
+import (
+	"costdist/internal/geom"
+	"costdist/internal/nets"
+)
+
+// Params controls the construction.
+type Params struct {
+	// Alpha is the PD trade-off in [0,1].
+	Alpha float64
+	// LBif is the bifurcation penalty in length units (0 disables).
+	LBif float64
+	// Eta is the minimum penalty share η.
+	Eta float64
+}
+
+type node struct {
+	pos     geom.Pt
+	parent  int32
+	sinkIdx int32
+	plen    float64 // root path length including bifurcation penalties
+	subW    float64 // subtree sink weight (maintained incrementally)
+	kids    int32   // child count (maintained incrementally)
+}
+
+// Build returns a PD topology. pts[0] is the root, pts[i] is sink i-1
+// with delay weight w[i-1].
+func Build(pts []geom.Pt, w []float64, p Params) *nets.PlaneTree {
+	t := len(pts)
+	ns := []node{{pos: pts[0], parent: -1, sinkIdx: -1}}
+	attached := make([]bool, t)
+
+	for count := 1; count < t; count++ {
+		type cand struct {
+			sink    int32   // terminal index 1..t-1
+			edgeLo  int32   // tree node at lower end of split edge (-1: attach at node)
+			atNode  int32   // node to attach at (edgeLo == -1)
+			split   geom.Pt // Steiner position when splitting an edge
+			key     float64
+			newPlen float64
+		}
+		best := cand{key: 1e300}
+		consider := func(c cand) {
+			if c.key < best.key {
+				best = c
+			}
+		}
+		for s := 1; s < t; s++ {
+			if attached[s] {
+				continue
+			}
+			ws := w[s-1]
+			// Attach directly at a tree node.
+			for ni := range ns {
+				n := &ns[ni]
+				branchy := n.kids > 0 || n.sinkIdx >= 0
+				d := float64(geom.L1(n.pos, pts[s]))
+				pen := branchPenalty(p, ws, n.subW, branchy)
+				plen := n.plen + d + pen.newSide
+				consider(cand{
+					sink: int32(s), edgeLo: -1, atNode: int32(ni),
+					key:     d + p.Alpha*(n.plen+pen.newSide+pen.downSide),
+					newPlen: plen,
+				})
+			}
+			// Split an existing edge (parent(v), v) at the L1 projection
+			// of the sink onto the edge bounding box.
+			for vi := 1; vi < len(ns); vi++ {
+				v := &ns[vi]
+				a := &ns[v.parent]
+				x := clampToBBox(pts[s], a.pos, v.pos)
+				if x == a.pos || x == v.pos {
+					continue // degenerates to node attachment
+				}
+				d := float64(geom.L1(x, pts[s]))
+				// Path length to the split point along the edge.
+				plenX := a.plen + float64(geom.L1(a.pos, x))
+				pen := branchPenalty(p, ws, v.subW, true)
+				plen := plenX + d + pen.newSide
+				consider(cand{
+					sink: int32(s), edgeLo: int32(vi), split: x,
+					key:     d + p.Alpha*(plenX+pen.newSide+pen.downSide),
+					newPlen: plen,
+				})
+			}
+		}
+		// Materialize the best attachment.
+		s := best.sink
+		ws := w[s-1]
+		var attachAt int32
+		if best.edgeLo >= 0 {
+			v := best.edgeLo
+			a := ns[v].parent
+			// Insert Steiner node x between a and v.
+			ns = append(ns, node{
+				pos: best.split, parent: a, sinkIdx: -1,
+				plen: ns[a].plen + float64(geom.L1(ns[a].pos, best.split)),
+				subW: ns[v].subW,
+				kids: 1, // v
+			})
+			x := int32(len(ns) - 1)
+			ns[v].parent = x
+			attachAt = x
+		} else {
+			attachAt = best.atNode
+		}
+		ns = append(ns, node{pos: pts[s], parent: attachAt, sinkIdx: s - 1, plen: best.newPlen, subW: ws})
+		ns[attachAt].kids++
+		for a := attachAt; a >= 0; a = ns[a].parent {
+			ns[a].subW += ws
+		}
+		attached[s] = true
+	}
+
+	out := &nets.PlaneTree{Nodes: make([]nets.PlaneNode, len(ns))}
+	for i, n := range ns {
+		out.Nodes[i] = nets.PlaneNode{Pos: n.pos, Parent: n.parent, SinkIdx: n.sinkIdx}
+	}
+	return out
+}
+
+// penalty is the bifurcation penalty split for one attachment.
+type penalty struct {
+	newSide  float64 // added to the new sink's path length
+	downSide float64 // added (conceptually) to the downstream subtree paths
+}
+
+// branchPenalty distributes ℓbif between the new branch (weight ws) and
+// the existing downstream subtree (weight wDown) per eq. (2). No penalty
+// when the attachment point has no downstream wiring (wDown == 0 and
+// not branchy): extending a leaf creates no bifurcation.
+func branchPenalty(p Params, ws, wDown float64, createsBranch bool) penalty {
+	if p.LBif == 0 || !createsBranch {
+		return penalty{}
+	}
+	switch {
+	case ws > wDown:
+		return penalty{newSide: p.Eta * p.LBif, downSide: (1 - p.Eta) * p.LBif}
+	case ws < wDown:
+		return penalty{newSide: (1 - p.Eta) * p.LBif, downSide: p.Eta * p.LBif}
+	default:
+		return penalty{newSide: 0.5 * p.LBif, downSide: 0.5 * p.LBif}
+	}
+}
+
+// clampToBBox returns the L1 projection of p onto the bounding box of
+// segment (a, b) — the nearest point of the box to p, which lies on some
+// monotone staircase realization of the edge.
+func clampToBBox(p, a, b geom.Pt) geom.Pt {
+	lox, hix := a.X, b.X
+	if lox > hix {
+		lox, hix = hix, lox
+	}
+	loy, hiy := a.Y, b.Y
+	if loy > hiy {
+		loy, hiy = hiy, loy
+	}
+	x := p.X
+	if x < lox {
+		x = lox
+	}
+	if x > hix {
+		x = hix
+	}
+	y := p.Y
+	if y < loy {
+		y = loy
+	}
+	if y > hiy {
+		y = hiy
+	}
+	return geom.Pt{X: x, Y: y}
+}

@@ -1,0 +1,420 @@
+// Package router implements timing-constrained global routing with
+// Lagrangean relaxation in the architecture of ref [13], the framework
+// the paper evaluates inside (§IV): congestion constraints are priced by
+// multiplicative-weight segment multipliers, timing constraints by
+// per-sink delay weights derived from slacks, and in every
+// rip-up-and-reroute wave a Steiner tree oracle solves the resulting
+// cost-distance subproblem (eq. (1)) per net. The oracle is pluggable:
+// the paper's four contenders — L1, shallow-light, Prim-Dijkstra (each
+// topology-first, then embedded optimally) and the new cost-distance
+// algorithm — are all provided.
+package router
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"costdist/internal/chipgen"
+	"costdist/internal/cong"
+	"costdist/internal/core"
+	"costdist/internal/embed"
+	"costdist/internal/geom"
+	"costdist/internal/grid"
+	"costdist/internal/nets"
+	"costdist/internal/pd"
+	"costdist/internal/rsmt"
+	"costdist/internal/sl"
+	"costdist/internal/sta"
+)
+
+// Method selects the Steiner tree oracle (paper §IV-A).
+type Method int
+
+// The four compared algorithms.
+const (
+	L1 Method = iota // shortest L1 Steiner topology, embedded optimally
+	SL               // shallow-light topology, embedded optimally
+	PD               // Prim-Dijkstra topology, embedded optimally
+	CD               // the paper's cost-distance algorithm
+)
+
+func (m Method) String() string {
+	switch m {
+	case L1:
+		return "L1"
+	case SL:
+		return "SL"
+	case PD:
+		return "PD"
+	case CD:
+		return "CD"
+	}
+	return fmt.Sprintf("Method(%d)", int(m))
+}
+
+// Options configures a routing run.
+type Options struct {
+	// Waves is the number of rip-up-and-reroute iterations.
+	Waves int
+	// Threads caps the routing worker count (0 = GOMAXPROCS).
+	Threads int
+	// Seed drives all randomized choices.
+	Seed uint64
+
+	// DBif and Eta parameterize the bifurcation penalty model; DBif < 0
+	// means "use the technology-derived value" (chip.DBif), 0 disables.
+	DBif float64
+	Eta  float64
+
+	// PriceAlpha and PriceTarget parameterize congestion pricing.
+	PriceAlpha  float64
+	PriceTarget float64
+
+	// WeightBase, WeightTau and WeightMax parameterize the slack-driven
+	// delay weight update w ← clamp(w·exp(−slack/τ), base, max).
+	WeightBase float64
+	WeightTau  float64
+	WeightMax  float64
+
+	// Margin is the routing window margin in gcells.
+	Margin int32
+
+	// CoreOpt configures the CD oracle; PDAlpha and SLEps the baselines.
+	CoreOpt core.Options
+	PDAlpha float64
+	SLEps   float64
+
+	// CaptureWave, when ≥ 0, snapshots every routed net of that wave as
+	// a standalone cost-distance instance (for Tables I and II).
+	CaptureWave int
+}
+
+// DefaultOptions returns a configuration mirroring the paper's setup.
+func DefaultOptions() Options {
+	return Options{
+		Waves:       4,
+		Seed:        1,
+		DBif:        -1,
+		Eta:         0.25,
+		PriceAlpha:  1.2,
+		PriceTarget: 0.85,
+		WeightBase:  5e-4,
+		WeightTau:   800,
+		WeightMax:   0.05,
+		Margin:      6,
+		CoreOpt:     core.DefaultOptions(),
+		PDAlpha:     0.3,
+		SLEps:       0.25,
+		CaptureWave: -1,
+	}
+}
+
+// Metrics are the per-run columns of Tables IV and V.
+type Metrics struct {
+	WS       float64 // worst slack, ps
+	TNS      float64 // total negative slack, ps
+	ACE4     float64 // percent
+	WLm      float64 // wirelength in meters
+	Vias     int64
+	Overflow float64
+	Walltime time.Duration
+}
+
+// Result is the outcome of a routing run.
+type Result struct {
+	Metrics Metrics
+	// Captured holds standalone instances snapshot at CaptureWave.
+	Captured []*nets.Instance
+}
+
+// Route runs the full flow on the chip with the given oracle.
+func Route(chip *chipgen.Chip, m Method, opt Options) (*Result, error) {
+	start := time.Now()
+	g := chip.G
+	nl := chip.NL
+	dbif := opt.DBif
+	if dbif < 0 {
+		dbif = chip.DBif
+	}
+	threads := opt.Threads
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	pricer := cong.NewPricer(g, opt.PriceAlpha, opt.PriceTarget)
+
+	nNets := len(nl.Nets)
+	weights := make([][]float64, nNets)
+	delays := make([][]float64, nNets)
+	budgets := make([][]float64, nNets)
+	for ni, n := range nl.Nets {
+		weights[ni] = make([]float64, len(n.Sinks))
+		delays[ni] = make([]float64, len(n.Sinks))
+		for k := range n.Sinks {
+			weights[ni][k] = opt.WeightBase
+		}
+	}
+	trees := make([]*nets.RTree, nNets)
+	res := &Result{}
+
+	// lbif converts the delay penalty to length units for the plane
+	// topology baselines (fastest delay per gcell).
+	costs0 := grid.NewCosts(g)
+	lbif := 0.0
+	if d := costs0.MinDelayPerGCell(); d > 0 {
+		lbif = dbif / d
+	}
+
+	// Pre-wave timing: estimate net delays from L1 distances on a
+	// mid-stack layer and derive initial delay weights and budgets, so
+	// every sink carries its Lagrangean timing price from the first wave
+	// (ref [13] prices all timing constraints from the start; a purely
+	// reactive update would let delay-oblivious trees poison wave 0).
+	{
+		mid := g.Layers[len(g.Layers)/2]
+		perGC := mid.Wires[0].DelayPerGCell
+		est := func(n, k int) float64 {
+			net := nl.Nets[n]
+			d := geom.L1(nl.Cells[net.Driver].Pos, nl.Cells[net.Sinks[k]].Pos)
+			return float64(d)*perGC + 2*mid.ViaDelay
+		}
+		timing := sta.Analyze(nl, est, chip.ClkPeriod)
+		for ni := range nl.Nets {
+			budgets[ni] = make([]float64, len(nl.Nets[ni].Sinks))
+			for k := range nl.Nets[ni].Sinks {
+				slack := timing.PinSlack(ni, k)
+				w := opt.WeightBase * math.Exp(-slack/opt.WeightTau)
+				if w < opt.WeightBase {
+					w = opt.WeightBase
+				}
+				if w > opt.WeightMax {
+					w = opt.WeightMax
+				}
+				weights[ni][k] = w
+				b := est(ni, k) + slack
+				if b < 0 {
+					b = 0
+				}
+				budgets[ni][k] = b
+			}
+		}
+	}
+
+	var usage *cong.Usage
+	for wave := 0; wave < opt.Waves; wave++ {
+		costs := pricer.Costs()
+		capture := wave == opt.CaptureWave
+
+		workerUsage := make([]*cong.Usage, threads)
+		workerErr := make([]error, threads)
+		captured := make([][]*nets.Instance, threads)
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < threads; w++ {
+			workerUsage[w] = cong.NewUsage(g)
+			wg.Add(1)
+			go func(worker int) {
+				defer wg.Done()
+				for {
+					ni := int(next.Add(1)) - 1
+					if ni >= nNets {
+						return
+					}
+					in := buildInstance(chip, ni, weights[ni], costs, dbif, opt)
+					in.Budgets = budgets[ni]
+					tr, err := routeNet(in, m, opt, lbif)
+					if err != nil {
+						if workerErr[worker] == nil {
+							workerErr[worker] = fmt.Errorf("net %d: %w", ni, err)
+						}
+						continue
+					}
+					ev, err := nets.Evaluate(in, tr)
+					if err != nil {
+						if workerErr[worker] == nil {
+							workerErr[worker] = fmt.Errorf("net %d eval: %w", ni, err)
+						}
+						continue
+					}
+					trees[ni] = tr
+					copy(delays[ni], ev.SinkDelay)
+					for _, st := range tr.Steps {
+						workerUsage[worker].AddArc(st.Arc)
+					}
+					if capture && len(in.Sinks) >= 1 {
+						captured[worker] = append(captured[worker], snapshot(in))
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		for _, err := range workerErr {
+			if err != nil {
+				return nil, err
+			}
+		}
+		usage = cong.NewUsage(g)
+		for _, wu := range workerUsage {
+			usage.AddFrom(wu)
+		}
+		if capture {
+			for _, cs := range captured {
+				res.Captured = append(res.Captured, cs...)
+			}
+		}
+
+		// Lagrangean updates: congestion prices, delay weights and the
+		// globally optimized per-sink delay budgets (routed delay plus
+		// the slack the endpoint can still afford) consumed by the
+		// shallow-light baseline, per ref [13].
+		pricer.Update(usage)
+		timing := sta.Analyze(nl, func(n, k int) float64 { return delays[n][k] }, chip.ClkPeriod)
+		for ni := range nl.Nets {
+			if budgets[ni] == nil {
+				budgets[ni] = make([]float64, len(nl.Nets[ni].Sinks))
+			}
+			for k := range nl.Nets[ni].Sinks {
+				slack := timing.PinSlack(ni, k)
+				w := weights[ni][k] * math.Exp(-slack/opt.WeightTau)
+				if w < opt.WeightBase {
+					w = opt.WeightBase
+				}
+				if w > opt.WeightMax {
+					w = opt.WeightMax
+				}
+				weights[ni][k] = w
+				b := delays[ni][k] + slack
+				if b < 0 {
+					b = 0
+				}
+				budgets[ni][k] = b
+			}
+		}
+	}
+
+	// Final metrics.
+	timing := sta.Analyze(nl, func(n, k int) float64 { return delays[n][k] }, chip.ClkPeriod)
+	var vias int64
+	for _, tr := range trees {
+		if tr == nil {
+			continue
+		}
+		for _, st := range tr.Steps {
+			if st.Arc.Via {
+				vias++
+			}
+		}
+	}
+	res.Metrics = Metrics{
+		WS:       timing.WS,
+		TNS:      timing.TNS,
+		ACE4:     cong.ACE4(usage),
+		WLm:      usage.WirelengthM(),
+		Vias:     vias,
+		Overflow: cong.Overflow(usage),
+		Walltime: time.Since(start),
+	}
+	return res, nil
+}
+
+// buildInstance assembles the cost-distance subproblem for one net under
+// the current prices and weights.
+func buildInstance(chip *chipgen.Chip, ni int, w []float64, costs *grid.Costs, dbif float64, opt Options) *nets.Instance {
+	n := chip.NL.Nets[ni]
+	in := &nets.Instance{
+		G: chip.G, C: costs,
+		Root: chip.PinVertex(n.Driver),
+		DBif: dbif, Eta: opt.Eta,
+		Seed: opt.Seed*0x9E3779B9 + uint64(ni),
+	}
+	for k, s := range n.Sinks {
+		in.Sinks = append(in.Sinks, nets.Sink{V: chip.PinVertex(s), W: w[k]})
+	}
+	in.Win = in.DefaultWindow(opt.Margin)
+	return in
+}
+
+// routeNet runs the selected oracle on one instance.
+func routeNet(in *nets.Instance, m Method, opt Options, lbif float64) (*nets.RTree, error) {
+	if m == CD {
+		return core.Solve(in, opt.CoreOpt)
+	}
+	pts := in.TermPts()
+	ws := make([]float64, len(in.Sinks))
+	for i, s := range in.Sinks {
+		ws[i] = s.W
+	}
+	var topo *nets.PlaneTree
+	switch m {
+	case L1:
+		topo = rsmt.Build(pts)
+	case SL:
+		// Convert ps budgets into (admissible) length bounds with the
+		// fastest delay per gcell; keep at least the L1 radius so a
+		// direct connection always satisfies its own bound.
+		var bounds []float64
+		if in.Budgets != nil {
+			if d := in.C.MinDelayPerGCell(); d > 0 {
+				bounds = make([]float64, len(in.Sinks))
+				rootPt := in.G.Pt(in.Root)
+				for k := range in.Sinks {
+					l1 := float64(geom.L1(rootPt, in.G.Pt(in.Sinks[k].V)))
+					b := in.Budgets[k] / d
+					if b < l1 {
+						b = l1
+					}
+					bounds[k] = b
+				}
+			}
+		}
+		topo = sl.Build(pts, ws, sl.Params{Eps: opt.SLEps, Bound: bounds, LBif: lbif, Eta: in.Eta})
+	case PD:
+		topo = pd.Build(pts, ws, pd.Params{Alpha: opt.PDAlpha, LBif: lbif, Eta: in.Eta})
+	default:
+		return nil, fmt.Errorf("router: unknown method %v", m)
+	}
+	r, err := embed.Embed(in, topo)
+	if err != nil {
+		return nil, err
+	}
+	return r.Tree, nil
+}
+
+// SolveNet runs one oracle standalone on a self-contained instance (the
+// Tables I/II harness and the CLI use this for apples-to-apples
+// comparisons on captured instances).
+func SolveNet(in *nets.Instance, m Method, opt Options) (*nets.RTree, error) {
+	lbif := 0.0
+	if d := in.C.MinDelayPerGCell(); d > 0 {
+		lbif = in.DBif / d
+	}
+	return routeNet(in, m, opt, lbif)
+}
+
+// snapshot deep-copies an instance so it stays valid after the pricer
+// mutates the shared multipliers (Tables I/II instance capture).
+func snapshot(in *nets.Instance) *nets.Instance {
+	c := *in.C
+	c.Mult = append([]float32{}, in.C.Mult...)
+	out := *in
+	out.C = &c
+	out.Sinks = append([]nets.Sink{}, in.Sinks...)
+	return &out
+}
+
+// RouteAll routes every chip of a suite with one method, returning rows
+// in suite order. It exists for the Tables IV/V harness.
+func RouteAll(chips []*chipgen.Chip, m Method, opt Options) ([]Metrics, error) {
+	out := make([]Metrics, len(chips))
+	for i, chip := range chips {
+		r, err := Route(chip, m, opt)
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s: %w", chip.Spec.Name, m, err)
+		}
+		out[i] = r.Metrics
+	}
+	return out, nil
+}

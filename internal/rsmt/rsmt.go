@@ -1,0 +1,182 @@
+// Package rsmt constructs short rectilinear Steiner trees in the plane.
+// It is the "L1" baseline of the paper (§IV-A): a near-minimum-length
+// Steiner topology built without any congestion or timing information,
+// later embedded optimally into the routing graph.
+//
+// Construction: Prim's algorithm builds the L1 minimum spanning tree
+// over the terminals; an edge-substitution pass in the style of
+// Borah-Owens-Irwin then repeatedly replaces two adjacent tree edges by
+// a median Steiner point while that reduces total length. The result is
+// within a few percent of optimal RSMT length on routing-sized nets.
+package rsmt
+
+import (
+	"costdist/internal/geom"
+	"costdist/internal/nets"
+)
+
+// node is a working tree node during construction.
+type node struct {
+	pos geom.Pt
+	adj []int32
+}
+
+// Build returns a Steiner topology over the terminals. pts[0] is the
+// root; pts[i] for i ≥ 1 corresponds to sink i-1 of the instance.
+// The returned tree is rooted at node 0 and passes
+// (*nets.PlaneTree).Validate for len(pts)-1 sinks.
+func Build(pts []geom.Pt) *nets.PlaneTree {
+	t := len(pts)
+	if t == 0 {
+		return &nets.PlaneTree{Nodes: []nets.PlaneNode{{Parent: -1, SinkIdx: -1}}}
+	}
+	nodes := make([]node, t)
+	for i, p := range pts {
+		nodes[i] = node{pos: p}
+	}
+	prim(nodes)
+	steinerize(&nodes)
+	return toPlaneTree(nodes, t)
+}
+
+// prim links the terminal nodes into an L1 minimum spanning tree.
+func prim(nodes []node) {
+	t := len(nodes)
+	if t <= 1 {
+		return
+	}
+	inTree := make([]bool, t)
+	best := make([]int64, t) // best distance to tree
+	bestTo := make([]int32, t)
+	for i := range best {
+		best[i] = geom.L1(nodes[i].pos, nodes[0].pos)
+		bestTo[i] = 0
+	}
+	inTree[0] = true
+	for added := 1; added < t; added++ {
+		pick := int32(-1)
+		var pickD int64
+		for i := 0; i < t; i++ {
+			if !inTree[i] && (pick < 0 || best[i] < pickD) {
+				pick, pickD = int32(i), best[i]
+			}
+		}
+		inTree[pick] = true
+		link(nodes, pick, bestTo[pick])
+		for i := 0; i < t; i++ {
+			if !inTree[i] {
+				if d := geom.L1(nodes[i].pos, nodes[pick].pos); d < best[i] {
+					best[i], bestTo[i] = d, pick
+				}
+			}
+		}
+	}
+}
+
+func link(nodes []node, a, b int32) {
+	nodes[a].adj = append(nodes[a].adj, b)
+	nodes[b].adj = append(nodes[b].adj, a)
+}
+
+func unlink(nodes []node, a, b int32) {
+	nodes[a].adj = remove(nodes[a].adj, b)
+	nodes[b].adj = remove(nodes[b].adj, a)
+}
+
+func remove(s []int32, x int32) []int32 {
+	for i, v := range s {
+		if v == x {
+			s[i] = s[len(s)-1]
+			return s[:len(s)-1]
+		}
+	}
+	return s
+}
+
+// steinerize repeatedly applies the best median substitution: for a node
+// u with neighbors v1, v2, insert s = median(u, v1, v2) and reconnect
+// u, v1, v2 to s. Gain = L1(u,v1)+L1(u,v2) − (|su|+|sv1|+|sv2|) > 0.
+func steinerize(nodes *[]node) {
+	for {
+		ns := *nodes
+		var bu, bv1, bv2 int32
+		var bs geom.Pt
+		var bestGain int64
+		for u := int32(0); u < int32(len(ns)); u++ {
+			adj := ns[u].adj
+			for i := 0; i < len(adj); i++ {
+				for j := i + 1; j < len(adj); j++ {
+					v1, v2 := adj[i], adj[j]
+					s := geom.Median3(ns[u].pos, ns[v1].pos, ns[v2].pos)
+					gain := geom.L1(ns[u].pos, ns[v1].pos) + geom.L1(ns[u].pos, ns[v2].pos) -
+						(geom.L1(s, ns[u].pos) + geom.L1(s, ns[v1].pos) + geom.L1(s, ns[v2].pos))
+					if gain > bestGain {
+						bestGain, bu, bv1, bv2, bs = gain, u, v1, v2, s
+					}
+				}
+			}
+		}
+		if bestGain <= 0 {
+			return
+		}
+		ns = append(ns, node{pos: bs})
+		sIdx := int32(len(ns) - 1)
+		unlink(ns, bu, bv1)
+		unlink(ns, bu, bv2)
+		link(ns, sIdx, bu)
+		link(ns, sIdx, bv1)
+		link(ns, sIdx, bv2)
+		*nodes = ns
+	}
+}
+
+// toPlaneTree roots the adjacency structure at node 0.
+func toPlaneTree(nodes []node, nTerms int) *nets.PlaneTree {
+	out := &nets.PlaneTree{Nodes: make([]nets.PlaneNode, 0, len(nodes))}
+	idx := make([]int32, len(nodes))
+	for i := range idx {
+		idx[i] = -1
+	}
+	sinkIdx := func(old int32) int32 {
+		if old >= 1 && int(old) < nTerms {
+			return old - 1
+		}
+		return -1
+	}
+	out.Nodes = append(out.Nodes, nets.PlaneNode{Pos: nodes[0].pos, Parent: -1, SinkIdx: -1})
+	idx[0] = 0
+	queue := []int32{0}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range nodes[u].adj {
+			if idx[v] >= 0 {
+				continue
+			}
+			out.Nodes = append(out.Nodes, nets.PlaneNode{Pos: nodes[v].pos, Parent: idx[u], SinkIdx: sinkIdx(v)})
+			idx[v] = int32(len(out.Nodes) - 1)
+			queue = append(queue, v)
+		}
+	}
+	return out
+}
+
+// MSTLength returns the L1 minimum spanning tree length of pts, the
+// classic upper bound reference for Steiner tree quality (RSMT length is
+// between 2/3·MST and MST).
+func MSTLength(pts []geom.Pt) int64 {
+	nodes := make([]node, len(pts))
+	for i, p := range pts {
+		nodes[i] = node{pos: p}
+	}
+	prim(nodes)
+	var total int64
+	for i := range nodes {
+		for _, j := range nodes[i].adj {
+			if int32(i) < j {
+				total += geom.L1(nodes[i].pos, nodes[j].pos)
+			}
+		}
+	}
+	return total
+}

@@ -1,0 +1,112 @@
+package rsmt
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"costdist/internal/geom"
+)
+
+func randPts(rng *rand.Rand, n int, span int32) []geom.Pt {
+	pts := make([]geom.Pt, n)
+	for i := range pts {
+		pts[i] = geom.Pt{X: rng.Int32N(span), Y: rng.Int32N(span)}
+	}
+	return pts
+}
+
+func TestBuildValidTrees(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 3))
+	for _, n := range []int{1, 2, 3, 4, 5, 8, 16, 40} {
+		for it := 0; it < 20; it++ {
+			pts := randPts(rng, n, 100)
+			tr := Build(pts)
+			if err := tr.Validate(n - 1); err != nil {
+				t.Fatalf("n=%d: invalid tree: %v", n, err)
+			}
+		}
+	}
+}
+
+func TestBuildNeverLongerThanMST(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 5))
+	for it := 0; it < 200; it++ {
+		n := 2 + rng.IntN(20)
+		pts := randPts(rng, n, 64)
+		tr := Build(pts)
+		mst := MSTLength(pts)
+		if got := tr.Length(); got > mst {
+			t.Fatalf("steinerized length %d exceeds MST %d (pts %v)", got, mst, pts)
+		}
+		// Steiner ratio lower bound: RSMT >= 2/3 * MST... our tree is a
+		// valid Steiner tree so it can't beat the theoretical optimum's
+		// lower bound either: length >= HPWL of the bbox / something is
+		// too weak; just check >= 2/3*MST which holds for any Steiner tree
+		// only via optimality, so instead check >= HPWL bound:
+		if got := tr.Length(); got < geom.BBox(pts).HalfPerimeter() {
+			t.Fatalf("length %d below HPWL bound %d", got, geom.BBox(pts).HalfPerimeter())
+		}
+	}
+}
+
+func TestSteinerGainOnLShape(t *testing.T) {
+	// Classic 3-point instance: MST = 2*10, Steiner tree = 10+5+5 via
+	// median; gains must be realized.
+	pts := []geom.Pt{{X: 0, Y: 0}, {X: 10, Y: 5}, {X: 10, Y: -5}}
+	tr := Build(pts)
+	if got, want := tr.Length(), int64(20); got != want {
+		t.Fatalf("L-shape length = %d want %d", got, want)
+	}
+}
+
+func TestCross4(t *testing.T) {
+	// 4 points on a cross: optimal RSMT uses 2 Steiner points or a
+	// straight trunk; length 3*w for a symmetric cross of arm w... just
+	// check improvement over MST.
+	pts := []geom.Pt{{X: 0, Y: 5}, {X: 10, Y: 5}, {X: 5, Y: 0}, {X: 5, Y: 10}}
+	tr := Build(pts)
+	mst := MSTLength(pts)
+	if tr.Length() >= mst {
+		t.Fatalf("no Steiner gain on cross: %d vs MST %d", tr.Length(), mst)
+	}
+	if tr.Length() != 20 {
+		t.Fatalf("cross length = %d want 20", tr.Length())
+	}
+}
+
+func TestDuplicatePositions(t *testing.T) {
+	pts := []geom.Pt{{X: 3, Y: 3}, {X: 3, Y: 3}, {X: 3, Y: 3}, {X: 7, Y: 3}}
+	tr := Build(pts)
+	if err := tr.Validate(3); err != nil {
+		t.Fatalf("duplicate positions: %v", err)
+	}
+	if tr.Length() != 4 {
+		t.Fatalf("length %d want 4", tr.Length())
+	}
+}
+
+func TestSingleTerminal(t *testing.T) {
+	tr := Build([]geom.Pt{{X: 5, Y: 5}})
+	if err := tr.Validate(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Nodes) != 1 {
+		t.Fatalf("nodes = %d", len(tr.Nodes))
+	}
+}
+
+func TestMSTLengthKnown(t *testing.T) {
+	pts := []geom.Pt{{X: 0, Y: 0}, {X: 3, Y: 0}, {X: 3, Y: 4}}
+	if got := MSTLength(pts); got != 7 {
+		t.Fatalf("MST = %d want 7", got)
+	}
+}
+
+func BenchmarkBuild32(b *testing.B) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	pts := randPts(rng, 32, 200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(pts)
+	}
+}

@@ -1,0 +1,169 @@
+// Package sl implements the shallow-light Steiner tree baseline (paper
+// §IV-A, refs [6],[14]): starting from an approximately minimum-length
+// Steiner tree, a DFS traversal reconnects sinks directly to the root
+// whenever their tree path violates their delay/distance bound by more
+// than a factor (1+ε); a reverse traversal afterwards re-activates
+// deleted connections when that saves length without re-violating any
+// bound. Bifurcation penalties are (re-)distributed with the flexible
+// η-model of the paper during both phases.
+package sl
+
+import (
+	"costdist/internal/geom"
+	"costdist/internal/nets"
+	"costdist/internal/rsmt"
+)
+
+// Params controls the construction.
+type Params struct {
+	// Eps is the shallowness slack ε ≥ 0: a sink's penalized path length
+	// may exceed its bound by at most (1+ε).
+	Eps float64
+	// Bound is the per-sink distance bound in gcell units (typically the
+	// globally optimized delay budget from resource sharing, converted
+	// to length). When nil, L1 distance from the root is used.
+	Bound []float64
+	// LBif is the bifurcation penalty in length units; Eta the minimum
+	// share per eq. (2).
+	LBif float64
+	Eta  float64
+}
+
+type work struct {
+	pts   []geom.Pt
+	w     []float64
+	p     Params
+	nodes []nets.PlaneNode
+	kids  [][]int32
+	subW  []float64
+	plen  []float64
+}
+
+// Build returns a shallow-light topology. pts[0] is the root; pts[i]
+// corresponds to sink i-1 with delay weight w[i-1].
+func Build(pts []geom.Pt, w []float64, p Params) *nets.PlaneTree {
+	base := rsmt.Build(pts)
+	wk := &work{pts: pts, w: w, p: p, nodes: append([]nets.PlaneNode{}, base.Nodes...)}
+	if len(wk.nodes) <= 1 {
+		return &nets.PlaneTree{Nodes: wk.nodes}
+	}
+	wk.refresh()
+
+	// Phase 1: DFS; reconnect violating sinks directly to the root.
+	origParent := map[int32]int32{}
+	order := wk.dfsOrder()
+	for _, v := range order {
+		s := wk.nodes[v].SinkIdx
+		if s < 0 || v == 0 {
+			continue
+		}
+		if wk.plen[v] > (1+p.Eps)*wk.bound(s) {
+			origParent[v] = wk.nodes[v].Parent
+			wk.reparent(v, 0)
+			wk.refresh()
+		}
+	}
+
+	// Phase 2: reverse traversal; undo reconnections that cost length
+	// if no bound is violated after undoing.
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		orig, ok := origParent[v]
+		if !ok {
+			continue
+		}
+		cur := wk.nodes[v].Parent
+		if orig == cur {
+			continue
+		}
+		saving := geom.L1(wk.nodes[v].Pos, wk.nodes[cur].Pos) - geom.L1(wk.nodes[v].Pos, wk.nodes[orig].Pos)
+		if saving <= 0 {
+			continue
+		}
+		wk.reparent(v, orig)
+		wk.refresh()
+		if wk.anyViolation() {
+			wk.reparent(v, cur)
+			wk.refresh()
+		}
+	}
+
+	out := &nets.PlaneTree{Nodes: wk.nodes}
+	return out
+}
+
+func (wk *work) bound(sink int32) float64 {
+	if wk.p.Bound != nil {
+		return wk.p.Bound[sink]
+	}
+	return float64(geom.L1(wk.pts[0], wk.pts[sink+1]))
+}
+
+func (wk *work) reparent(v, newParent int32) {
+	wk.nodes[v].Parent = newParent
+}
+
+// refresh recomputes children, subtree weights and penalized path
+// lengths. Trees are routing-net sized, so O(t) recomputation per
+// structural change is cheap and keeps the λ redistribution exact.
+func (wk *work) refresh() {
+	n := len(wk.nodes)
+	wk.kids = make([][]int32, n)
+	for i := 1; i < n; i++ {
+		p := wk.nodes[i].Parent
+		wk.kids[p] = append(wk.kids[p], int32(i))
+	}
+	wk.subW = make([]float64, n)
+	var weigh func(i int32) float64
+	weigh = func(i int32) float64 {
+		total := 0.0
+		if s := wk.nodes[i].SinkIdx; s >= 0 {
+			total += wk.w[s]
+		}
+		for _, c := range wk.kids[i] {
+			total += weigh(c)
+		}
+		wk.subW[i] = total
+		return total
+	}
+	weigh(0)
+	wk.plen = make([]float64, n)
+	var push func(i int32)
+	push = func(i int32) {
+		ch := wk.kids[i]
+		ws := make([]float64, len(ch))
+		for k, c := range ch {
+			ws[k] = wk.subW[c]
+		}
+		pen := nets.SplitPenalties(wk.p.LBif, wk.p.Eta, ws)
+		for k, c := range ch {
+			wk.plen[c] = wk.plen[i] + pen[k] + float64(geom.L1(wk.nodes[i].Pos, wk.nodes[c].Pos))
+			push(c)
+		}
+	}
+	push(0)
+}
+
+func (wk *work) dfsOrder() []int32 {
+	order := make([]int32, 0, len(wk.nodes))
+	var rec func(i int32)
+	rec = func(i int32) {
+		order = append(order, i)
+		for _, c := range wk.kids[i] {
+			rec(c)
+		}
+	}
+	rec(0)
+	return order
+}
+
+func (wk *work) anyViolation() bool {
+	for i, n := range wk.nodes {
+		if n.SinkIdx >= 0 {
+			if wk.plen[i] > (1+wk.p.Eps)*wk.bound(n.SinkIdx) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,190 @@
+package sl
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"costdist/internal/geom"
+	"costdist/internal/nets"
+	"costdist/internal/rsmt"
+)
+
+func randInstance(rng *rand.Rand, n int, span int32) ([]geom.Pt, []float64) {
+	pts := make([]geom.Pt, n)
+	w := make([]float64, n-1)
+	for i := range pts {
+		pts[i] = geom.Pt{X: rng.Int32N(span), Y: rng.Int32N(span)}
+	}
+	for i := range w {
+		w[i] = 0.1 + rng.Float64()*5
+	}
+	return pts, w
+}
+
+// pathLens returns the penalized root path length per sink, recomputed
+// independently of the construction code.
+func pathLens(tr *nets.PlaneTree, w []float64, lbif, eta float64) []float64 {
+	n := len(tr.Nodes)
+	kids := tr.Children()
+	subW := make([]float64, n)
+	var weigh func(i int32) float64
+	weigh = func(i int32) float64 {
+		t := 0.0
+		if s := tr.Nodes[i].SinkIdx; s >= 0 {
+			t += w[s]
+		}
+		for _, c := range kids[i] {
+			t += weigh(c)
+		}
+		subW[i] = t
+		return t
+	}
+	weigh(0)
+	out := make([]float64, len(w))
+	plen := make([]float64, n)
+	var push func(i int32)
+	push = func(i int32) {
+		ws := make([]float64, len(kids[i]))
+		for k, c := range kids[i] {
+			ws[k] = subW[c]
+		}
+		pen := nets.SplitPenalties(lbif, eta, ws)
+		for k, c := range kids[i] {
+			plen[c] = plen[i] + pen[k] + float64(geom.L1(tr.Nodes[i].Pos, tr.Nodes[c].Pos))
+			push(c)
+		}
+		if s := tr.Nodes[i].SinkIdx; s >= 0 {
+			out[s] = plen[i]
+		}
+	}
+	push(0)
+	return out
+}
+
+func TestBuildValid(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 7))
+	for _, n := range []int{2, 3, 6, 12, 30} {
+		for it := 0; it < 15; it++ {
+			pts, w := randInstance(rng, n, 100)
+			tr := Build(pts, w, Params{Eps: 0.25, LBif: 3, Eta: 0.25})
+			if err := tr.Validate(n - 1); err != nil {
+				t.Fatalf("n=%d: %v", n, err)
+			}
+		}
+	}
+}
+
+func TestShallownessWithoutPenalties(t *testing.T) {
+	// With LBif=0 every sink path must satisfy the (1+ε) bound, since a
+	// direct root connection always achieves L1 distance exactly.
+	rng := rand.New(rand.NewPCG(13, 14))
+	eps := 0.3
+	for it := 0; it < 100; it++ {
+		n := 3 + rng.IntN(20)
+		pts, w := randInstance(rng, n, 80)
+		tr := Build(pts, w, Params{Eps: eps})
+		lens := pathLens(tr, w, 0, 0.25)
+		for s, l := range lens {
+			bound := (1 + eps) * float64(geom.L1(pts[0], pts[s+1]))
+			if l > bound+1e-9 {
+				t.Fatalf("sink %d path %v exceeds bound %v (pts %v)", s, l, bound, pts)
+			}
+		}
+	}
+}
+
+func TestLightnessNearMST(t *testing.T) {
+	// With a huge ε nothing is reconnected: length equals the base
+	// Steiner tree's (light), which is at most MST.
+	rng := rand.New(rand.NewPCG(3, 1))
+	for it := 0; it < 50; it++ {
+		n := 3 + rng.IntN(15)
+		pts, w := randInstance(rng, n, 64)
+		tr := Build(pts, w, Params{Eps: 1e9})
+		if got, mst := tr.Length(), rsmt.MSTLength(pts); got > mst {
+			t.Fatalf("length %d > MST %d with infinite eps", got, mst)
+		}
+	}
+}
+
+func TestEpsZeroForcesShortestPaths(t *testing.T) {
+	// ε=0 and no penalties: every sink must be at exactly its L1 radius.
+	rng := rand.New(rand.NewPCG(31, 5))
+	for it := 0; it < 50; it++ {
+		n := 3 + rng.IntN(12)
+		pts, w := randInstance(rng, n, 50)
+		tr := Build(pts, w, Params{Eps: 0})
+		lens := pathLens(tr, w, 0, 0.25)
+		for s, l := range lens {
+			if l > float64(geom.L1(pts[0], pts[s+1]))+1e-9 {
+				t.Fatalf("sink %d path %v > L1 %v", s, l, geom.L1(pts[0], pts[s+1]))
+			}
+		}
+	}
+}
+
+func TestEpsInfinityKeepsLightTree(t *testing.T) {
+	// With an effectively infinite ε no sink is reconnected, so the
+	// result is exactly the base light (Steiner) tree; any finite ε can
+	// only trade length for shallowness within sane bounds.
+	rng := rand.New(rand.NewPCG(17, 23))
+	for it := 0; it < 30; it++ {
+		n := 5 + rng.IntN(12)
+		pts, w := randInstance(rng, n, 80)
+		light := rsmt.Build(pts).Length()
+		if got := Build(pts, w, Params{Eps: 1e9}).Length(); got != light {
+			t.Fatalf("eps=inf length %d != light tree %d", got, light)
+		}
+		for _, eps := range []float64{0, 0.1, 0.5, 2} {
+			l := Build(pts, w, Params{Eps: eps}).Length()
+			if l < geom.BBox(pts).HalfPerimeter() {
+				t.Fatalf("eps=%v length %d below HPWL bound", eps, l)
+			}
+			// A star from the root is the worst shallow tree: total
+			// length can never exceed the sum of direct connections
+			// plus the light tree (every edge is one or the other).
+			var star int64
+			for _, p := range pts[1:] {
+				star += geom.L1(pts[0], p)
+			}
+			if l > star+light {
+				t.Fatalf("eps=%v length %d exceeds star+light %d", eps, l, star+light)
+			}
+		}
+	}
+}
+
+func TestCustomBounds(t *testing.T) {
+	// A generous explicit bound suppresses reconnection even at ε=0.
+	pts := []geom.Pt{{X: 0, Y: 0}, {X: 10, Y: 0}, {X: 11, Y: 1}}
+	w := []float64{1, 1}
+	loose := Build(pts, w, Params{Eps: 0, Bound: []float64{100, 100}})
+	if loose.Length() != 12 {
+		t.Fatalf("loose bound length %d want 12 (chain)", loose.Length())
+	}
+	// A tight bound on the far sink forces a direct connection.
+	tight := Build(pts, w, Params{Eps: 0, Bound: []float64{10, 12}})
+	lens := pathLens(tight, w, 0, 0.25)
+	if lens[1] > 12+1e-9 {
+		t.Fatalf("tight bound violated: %v", lens)
+	}
+}
+
+func TestTwoTerminals(t *testing.T) {
+	tr := Build([]geom.Pt{{X: 0, Y: 0}, {X: 5, Y: 5}}, []float64{1}, Params{Eps: 0.1})
+	if err := tr.Validate(1); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Length() != 10 {
+		t.Fatalf("length %d", tr.Length())
+	}
+}
+
+func BenchmarkBuild32(b *testing.B) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	pts, w := randInstance(rng, 32, 200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(pts, w, Params{Eps: 0.25, LBif: 3, Eta: 0.25})
+	}
+}

@@ -1,0 +1,131 @@
+// Package sparse provides an open-addressing hash map from int32 vertex
+// ids to Dijkstra labels. Each per-sink search in the cost-distance
+// algorithm labels only a local region of the (potentially huge) global
+// routing graph, so dense per-search arrays would waste O(t·n) memory;
+// this map keeps per-search memory proportional to the labeled region
+// while staying allocation-free on the hot path.
+package sparse
+
+// Label is a Dijkstra label: tentative distance, predecessor vertex and
+// the arc code by which the vertex was reached (see grid.ArcCode), plus a
+// permanence flag.
+type Label struct {
+	Dist float64
+	Prev int32
+	Arc  uint8
+	Perm bool
+}
+
+type entry struct {
+	key int32 // vertex id, -1 = empty
+	lab Label
+}
+
+// Map is an open-addressing hash map int32 -> Label with linear probing.
+// The zero value is not usable; call NewMap.
+type Map struct {
+	entries []entry
+	n       int
+	mask    uint32
+}
+
+// NewMap returns a map with capacity for roughly capHint entries before
+// the first growth.
+func NewMap(capHint int) *Map {
+	size := 16
+	for size < capHint*2 {
+		size <<= 1
+	}
+	m := &Map{}
+	m.init(size)
+	return m
+}
+
+func (m *Map) init(size int) {
+	m.entries = make([]entry, size)
+	for i := range m.entries {
+		m.entries[i].key = -1
+	}
+	m.mask = uint32(size - 1)
+	m.n = 0
+}
+
+// Len returns the number of stored labels.
+func (m *Map) Len() int { return m.n }
+
+// Reset removes all entries, retaining capacity.
+func (m *Map) Reset() {
+	for i := range m.entries {
+		m.entries[i].key = -1
+	}
+	m.n = 0
+}
+
+func hash(k int32) uint32 {
+	x := uint32(k)
+	x ^= x >> 16
+	x *= 0x7feb352d
+	x ^= x >> 15
+	x *= 0x846ca68b
+	x ^= x >> 16
+	return x
+}
+
+// Get returns a pointer to the label stored for v, or nil.
+// The pointer is invalidated by the next Put that triggers growth.
+func (m *Map) Get(v int32) *Label {
+	i := hash(v) & m.mask
+	for {
+		e := &m.entries[i]
+		if e.key == v {
+			return &e.lab
+		}
+		if e.key == -1 {
+			return nil
+		}
+		i = (i + 1) & m.mask
+	}
+}
+
+// Put returns a pointer to the label slot for v, inserting a zero label
+// if absent. The second result reports whether the label already existed.
+func (m *Map) Put(v int32) (*Label, bool) {
+	if m.n*4 >= len(m.entries)*3 {
+		m.grow()
+	}
+	i := hash(v) & m.mask
+	for {
+		e := &m.entries[i]
+		if e.key == v {
+			return &e.lab, true
+		}
+		if e.key == -1 {
+			e.key = v
+			e.lab = Label{}
+			m.n++
+			return &e.lab, false
+		}
+		i = (i + 1) & m.mask
+	}
+}
+
+func (m *Map) grow() {
+	old := m.entries
+	m.init(len(old) * 2)
+	for i := range old {
+		if old[i].key >= 0 {
+			slot, _ := m.Put(old[i].key)
+			*slot = old[i].lab
+		}
+	}
+}
+
+// Range calls f for every (vertex, label) pair in unspecified order.
+// f must not mutate the map.
+func (m *Map) Range(f func(v int32, l *Label)) {
+	for i := range m.entries {
+		if m.entries[i].key >= 0 {
+			f(m.entries[i].key, &m.entries[i].lab)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package sparse
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func TestPutGet(t *testing.T) {
+	m := NewMap(4)
+	if m.Get(7) != nil {
+		t.Fatal("Get on empty map should be nil")
+	}
+	l, existed := m.Put(7)
+	if existed {
+		t.Fatal("Put reported existing for fresh key")
+	}
+	l.Dist = 3.5
+	l.Prev = 2
+	l.Arc = 9
+	got := m.Get(7)
+	if got == nil || got.Dist != 3.5 || got.Prev != 2 || got.Arc != 9 {
+		t.Fatalf("Get returned %+v", got)
+	}
+	l2, existed := m.Put(7)
+	if !existed || l2.Dist != 3.5 {
+		t.Fatalf("second Put: existed=%v lab=%+v", existed, l2)
+	}
+	if m.Len() != 1 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+}
+
+func TestGrowthPreservesEntries(t *testing.T) {
+	m := NewMap(2)
+	const n = 10000
+	for i := int32(0); i < n; i++ {
+		l, _ := m.Put(i * 3)
+		l.Dist = float64(i)
+	}
+	if m.Len() != n {
+		t.Fatalf("Len = %d want %d", m.Len(), n)
+	}
+	for i := int32(0); i < n; i++ {
+		l := m.Get(i * 3)
+		if l == nil || l.Dist != float64(i) {
+			t.Fatalf("lost key %d after growth: %+v", i*3, l)
+		}
+		if m.Get(i*3+1) != nil {
+			t.Fatalf("phantom key %d", i*3+1)
+		}
+	}
+}
+
+func TestAgainstBuiltinMap(t *testing.T) {
+	rng := rand.New(rand.NewPCG(17, 19))
+	m := NewMap(8)
+	ref := map[int32]float64{}
+	for it := 0; it < 50000; it++ {
+		k := int32(rng.IntN(5000))
+		if rng.IntN(2) == 0 {
+			l, _ := m.Put(k)
+			l.Dist = float64(it)
+			ref[k] = float64(it)
+		} else {
+			got := m.Get(k)
+			want, ok := ref[k]
+			if ok != (got != nil) {
+				t.Fatalf("presence mismatch for %d", k)
+			}
+			if ok && got.Dist != want {
+				t.Fatalf("value mismatch for %d: %v vs %v", k, got.Dist, want)
+			}
+		}
+	}
+	if m.Len() != len(ref) {
+		t.Fatalf("Len %d vs ref %d", m.Len(), len(ref))
+	}
+}
+
+func TestRangeVisitsAll(t *testing.T) {
+	m := NewMap(4)
+	want := map[int32]bool{}
+	for i := int32(0); i < 100; i++ {
+		k := i * 7
+		l, _ := m.Put(k)
+		l.Dist = float64(k)
+		want[k] = true
+	}
+	seen := map[int32]bool{}
+	m.Range(func(v int32, l *Label) {
+		if l.Dist != float64(v) {
+			t.Fatalf("label mismatch at %d", v)
+		}
+		seen[v] = true
+	})
+	if len(seen) != len(want) {
+		t.Fatalf("Range visited %d of %d", len(seen), len(want))
+	}
+}
+
+func TestReset(t *testing.T) {
+	m := NewMap(4)
+	for i := int32(0); i < 50; i++ {
+		m.Put(i)
+	}
+	m.Reset()
+	if m.Len() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+	for i := int32(0); i < 50; i++ {
+		if m.Get(i) != nil {
+			t.Fatalf("key %d survived Reset", i)
+		}
+	}
+	l, existed := m.Put(3)
+	if existed || l == nil {
+		t.Fatal("map unusable after Reset")
+	}
+}
+
+func BenchmarkPut(b *testing.B) {
+	m := NewMap(1 << 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l, _ := m.Put(int32(i & 0xFFFF))
+		l.Dist = float64(i)
+	}
+}
+
+func BenchmarkGetHit(b *testing.B) {
+	m := NewMap(1 << 16)
+	for i := int32(0); i < 1<<16; i++ {
+		m.Put(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if m.Get(int32(i&0xFFFF)) == nil {
+			b.Fatal("miss")
+		}
+	}
+}

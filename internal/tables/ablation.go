@@ -1,0 +1,121 @@
+package tables
+
+import (
+	"fmt"
+	"strings"
+
+	"costdist/internal/chipgen"
+	"costdist/internal/core"
+	"costdist/internal/nets"
+	"costdist/internal/router"
+)
+
+// AblationRow reports one CD variant on the captured instance set.
+type AblationRow struct {
+	Name string
+	// AvgPct is the mean objective increase over the default
+	// configuration, in percent (negative = better than default).
+	AvgPct float64
+	// Instances actually scored.
+	Instances int
+}
+
+// ablationVariants are the §III design choices DESIGN.md calls out.
+func ablationVariants() []struct {
+	name string
+	opt  core.Options
+} {
+	d := core.DefaultOptions()
+	noDiscount := d
+	noDiscount.Discount = false
+	noImprove := d
+	noImprove.ImproveSteiner = false
+	noBonus := d
+	noBonus.RootBonus = false
+	withAStar := d
+	withAStar.AStar = true
+	withAStar.AStarMaxTargets = 24
+	flat := d
+	flat.FlatHeap = true
+	return []struct {
+		name string
+		opt  core.Options
+	}{
+		{"default", d},
+		{"no-discount (§III-A off)", noDiscount},
+		{"no-improve (§III-D off)", noImprove},
+		{"no-root-bonus (§III-E off)", noBonus},
+		{"a-star (§III-C on)", withAStar},
+		{"flat-heap (§III-B off)", flat},
+		{"plain §II", core.Options{}},
+	}
+}
+
+// Ablation captures instances from a CD routing run and scores every
+// §III variant against the default configuration on the same instances.
+func Ablation(cfg Config, withBif bool) ([]AblationRow, error) {
+	opt := cfg.routerOptions(withBif)
+	opt.CaptureWave = opt.Waves - 1
+	var captured []*nets.Instance
+	for _, ci := range cfg.chipIndices() {
+		spec := chipgen.Suite(cfg.Scale)[ci]
+		chip, err := chipgen.Generate(spec)
+		if err != nil {
+			return nil, err
+		}
+		res, err := router.Route(chip, router.CD, opt)
+		if err != nil {
+			return nil, err
+		}
+		for _, in := range res.Captured {
+			if len(in.Sinks) >= 3 {
+				captured = append(captured, in)
+			}
+		}
+	}
+	variants := ablationVariants()
+	totals := make([]float64, len(variants))
+	count := 0
+	for _, in := range captured {
+		vals := make([]float64, len(variants))
+		ok := true
+		for vi, v := range variants {
+			tr, err := core.Solve(in, v.opt)
+			if err != nil {
+				ok = false
+				break
+			}
+			ev, err := nets.Evaluate(in, tr)
+			if err != nil {
+				ok = false
+				break
+			}
+			vals[vi] = ev.Total
+		}
+		if !ok || vals[0] <= 0 {
+			continue
+		}
+		for vi := range variants {
+			totals[vi] += 100 * (vals[vi] - vals[0]) / vals[0]
+		}
+		count++
+	}
+	rows := make([]AblationRow, len(variants))
+	for vi, v := range variants {
+		rows[vi] = AblationRow{Name: v.name, Instances: count}
+		if count > 0 {
+			rows[vi].AvgPct = totals[vi] / float64(count)
+		}
+	}
+	return rows, nil
+}
+
+// FormatAblation renders the ablation table.
+func FormatAblation(rows []AblationRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ABLATION — CD objective change vs default configuration (%d instances, |S| ≥ 3)\n", rows[0].Instances)
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-28s %+7.2f%%\n", r.Name, r.AvgPct)
+	}
+	return b.String()
+}

@@ -1,0 +1,152 @@
+// Package viz renders routing structures as SVG for the paper's figures
+// (Figure 1: bifurcation structure comparison; Figure 3: the course of
+// the cost-distance algorithm with growing search disks and merges).
+// Only the plane projection is drawn; layers are color-coded.
+package viz
+
+import (
+	"fmt"
+	"strings"
+
+	"costdist/internal/core"
+	"costdist/internal/geom"
+	"costdist/internal/grid"
+	"costdist/internal/nets"
+)
+
+// SVG is a minimal SVG document builder.
+type SVG struct {
+	buf  strings.Builder
+	W, H float64
+}
+
+// New returns an SVG canvas of the given size (user units).
+func New(w, h float64) *SVG {
+	s := &SVG{W: w, H: h}
+	fmt.Fprintf(&s.buf, `<svg xmlns="http://www.w3.org/2000/svg" width="%g" height="%g" viewBox="0 0 %g %g">`+"\n", w, h, w, h)
+	s.buf.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	return s
+}
+
+// Line draws a line segment.
+func (s *SVG) Line(x1, y1, x2, y2 float64, stroke string, width float64) {
+	fmt.Fprintf(&s.buf, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="%.2f" stroke-linecap="round"/>`+"\n",
+		x1, y1, x2, y2, stroke, width)
+}
+
+// Circle draws a circle.
+func (s *SVG) Circle(cx, cy, r float64, fill, stroke string) {
+	fmt.Fprintf(&s.buf, `<circle cx="%.1f" cy="%.1f" r="%.2f" fill="%s" stroke="%s"/>`+"\n", cx, cy, r, fill, stroke)
+}
+
+// RectXY draws a rectangle.
+func (s *SVG) RectXY(x, y, w, h float64, fill, stroke string, opacity float64) {
+	fmt.Fprintf(&s.buf, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s" stroke="%s" fill-opacity="%.2f"/>`+"\n",
+		x, y, w, h, fill, stroke, opacity)
+}
+
+// Text places a label.
+func (s *SVG) Text(x, y float64, size float64, txt string) {
+	fmt.Fprintf(&s.buf, `<text x="%.1f" y="%.1f" font-size="%.1f" font-family="sans-serif">%s</text>`+"\n", x, y, size, txt)
+}
+
+// String finalizes and returns the document.
+func (s *SVG) String() string {
+	return s.buf.String() + "</svg>\n"
+}
+
+var layerColors = []string{
+	"#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd",
+	"#8c564b", "#e377c2", "#7f7f7f", "#bcbd22", "#17becf",
+	"#aec7e8", "#ffbb78", "#98df8a", "#ff9896", "#c5b0d5",
+}
+
+// LayerColor returns the drawing color for a layer.
+func LayerColor(l int) string { return layerColors[l%len(layerColors)] }
+
+// RenderTree draws an embedded tree: wire steps as layer-colored lines,
+// vias as small squares, root as a red square, sinks as black dots with
+// radius scaled by weight.
+func RenderTree(in *nets.Instance, tr *nets.RTree, cell float64) string {
+	g := in.G
+	s := New(float64(g.NX)*cell+20, float64(g.NY)*cell+20)
+	px := func(p geom.Pt) (float64, float64) {
+		return 10 + (float64(p.X)+0.5)*cell, 10 + (float64(p.Y)+0.5)*cell
+	}
+	for _, st := range tr.Steps {
+		if st.Arc.Via {
+			x, y := px(g.Pt(st.From))
+			s.RectXY(x-cell/6, y-cell/6, cell/3, cell/3, "#444", "none", 1)
+			continue
+		}
+		x1, y1 := px(g.Pt(st.From))
+		x2, y2 := px(g.Pt(st.Arc.To))
+		s.Line(x1, y1, x2, y2, LayerColor(int(st.Arc.L)), cell/4)
+	}
+	maxW := 1e-12
+	for _, sk := range in.Sinks {
+		if sk.W > maxW {
+			maxW = sk.W
+		}
+	}
+	for _, sk := range in.Sinks {
+		x, y := px(g.Pt(sk.V))
+		r := cell/5 + cell/3*(sk.W/maxW)
+		s.Circle(x, y, r, "black", "none")
+	}
+	x, y := px(g.Pt(in.Root))
+	s.RectXY(x-cell/3, y-cell/3, cell*2/3, cell*2/3, "red", "none", 1)
+	return s.String()
+}
+
+// RenderTraceFrames draws one SVG per algorithm iteration in the style
+// of the paper's Figure 3: active terminals in blue with search disks,
+// the new connection path in red, the root in red.
+func RenderTraceFrames(in *nets.Instance, events []core.TraceEvent, cell float64) []string {
+	g := in.G
+	px := func(p geom.Pt) (float64, float64) {
+		return 10 + (float64(p.X)+0.5)*cell, 10 + (float64(p.Y)+0.5)*cell
+	}
+	var frames []string
+	var settledPaths [][]grid.V
+	for _, ev := range events {
+		s := New(float64(g.NX)*cell+20, float64(g.NY)*cell+20)
+		// Previously committed connections in grey.
+		for _, path := range settledPaths {
+			for i := 1; i < len(path); i++ {
+				x1, y1 := px(g.Pt(path[i-1]))
+				x2, y2 := px(g.Pt(path[i]))
+				s.Line(x1, y1, x2, y2, "#999", cell/5)
+			}
+		}
+		// Current connection in red.
+		for i := 1; i < len(ev.Path); i++ {
+			x1, y1 := px(g.Pt(ev.Path[i-1]))
+			x2, y2 := px(g.Pt(ev.Path[i]))
+			s.Line(x1, y1, x2, y2, "#d62728", cell/4)
+		}
+		// Search disk of the initiating component (area ∝ labels).
+		ux, uy := px(ev.PosU)
+		r := cell * 0.5 * (1 + float64(ev.Labeled)/20)
+		s.Circle(ux, uy, r, "none", "#1f77b4")
+		// Terminals.
+		maxW := 1e-12
+		for _, sk := range in.Sinks {
+			if sk.W > maxW {
+				maxW = sk.W
+			}
+		}
+		for _, sk := range in.Sinks {
+			x, y := px(g.Pt(sk.V))
+			s.Circle(x, y, cell/5+cell/3*(sk.W/maxW), "black", "none")
+		}
+		rx, ry := px(g.Pt(in.Root))
+		s.RectXY(rx-cell/3, ry-cell/3, cell*2/3, cell*2/3, "red", "none", 1)
+		nx, ny := px(ev.NewRep)
+		s.Circle(nx, ny, cell/3, "none", "#2ca02c")
+		s.Text(12, 14, 11, fmt.Sprintf("iteration %d%s", ev.Iter, map[bool]string{true: " (root connection)", false: ""}[ev.ToRoot]))
+		frames = append(frames, s.String())
+		settledPaths = append(settledPaths, ev.Path)
+	}
+	return frames
+}

@@ -1,0 +1,102 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"costdist/internal/core"
+	"costdist/internal/dly"
+	"costdist/internal/grid"
+	"costdist/internal/nets"
+)
+
+func instance(t *testing.T) (*nets.Instance, *nets.RTree, []core.TraceEvent) {
+	t.Helper()
+	tech := dly.DefaultTech(4)
+	g := grid.New(16, 16, tech.BuildLayers(), tech.GCellUM)
+	in := &nets.Instance{
+		G: g, C: grid.NewCosts(g),
+		Root: g.At(1, 1, 0),
+		Sinks: []nets.Sink{
+			{V: g.At(12, 3, 0), W: 0.05},
+			{V: g.At(8, 13, 0), W: 0.01},
+		},
+		Win: g.FullWindow(), Seed: 3,
+	}
+	var events []core.TraceEvent
+	tr, err := core.SolveTraced(in, core.DefaultOptions(), func(e core.TraceEvent) {
+		events = append(events, e)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in, tr, events
+}
+
+func TestSVGWellFormed(t *testing.T) {
+	s := New(100, 60)
+	s.Line(0, 0, 50, 50, "red", 2)
+	s.Circle(10, 10, 3, "black", "none")
+	s.RectXY(5, 5, 10, 10, "blue", "none", 0.5)
+	s.Text(1, 12, 10, "hello")
+	out := s.String()
+	if !strings.HasPrefix(out, "<svg") || !strings.HasSuffix(out, "</svg>\n") {
+		t.Fatalf("malformed document: %q...", out[:40])
+	}
+	for _, want := range []string{"<line", "<circle", "<rect", "<text", "hello"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %s", want)
+		}
+	}
+	if strings.Count(out, "<svg") != 1 {
+		t.Fatal("nested svg")
+	}
+}
+
+func TestLayerColorsCycle(t *testing.T) {
+	seen := map[string]bool{}
+	for l := 0; l < 15; l++ {
+		seen[LayerColor(l)] = true
+	}
+	if len(seen) < 10 {
+		t.Fatalf("too few distinct layer colors: %d", len(seen))
+	}
+	if LayerColor(0) != LayerColor(15) {
+		t.Fatal("colors must cycle")
+	}
+}
+
+func TestRenderTreeContainsAllElements(t *testing.T) {
+	in, tr, _ := instance(t)
+	out := RenderTree(in, tr, 12)
+	if !strings.HasPrefix(out, "<svg") {
+		t.Fatal("not svg")
+	}
+	// Root square (red), two sink circles, and at least one wire line.
+	if !strings.Contains(out, `fill="red"`) {
+		t.Fatal("no root marker")
+	}
+	if strings.Count(out, "<circle") < 2 {
+		t.Fatal("missing sink markers")
+	}
+	if strings.Count(out, "<line") < 5 {
+		t.Fatal("suspiciously few wire segments")
+	}
+}
+
+func TestRenderTraceFrames(t *testing.T) {
+	in, _, events := instance(t)
+	frames := RenderTraceFrames(in, events, 12)
+	if len(frames) != len(events) {
+		t.Fatalf("%d frames for %d events", len(frames), len(events))
+	}
+	for i, f := range frames {
+		if !strings.Contains(f, "iteration") {
+			t.Fatalf("frame %d missing caption", i)
+		}
+	}
+	// Later frames show previously settled paths in grey.
+	if len(frames) >= 2 && !strings.Contains(frames[len(frames)-1], "#999") {
+		t.Fatal("no settled-path rendering in later frames")
+	}
+}

@@ -1,0 +1,146 @@
+package costdist
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"costdist/internal/grid"
+)
+
+// InstanceJSON is the on-disk schema consumed by cmd/cdsteiner: a
+// self-contained cost-distance Steiner tree instance on the default
+// technology. Congestion can be injected through priced rectangles.
+type InstanceJSON struct {
+	NX     int32 `json:"nx"`
+	NY     int32 `json:"ny"`
+	Layers int   `json:"layers"`
+
+	Root  [3]int32 `json:"root"` // x, y, layer
+	Sinks []struct {
+		X int32   `json:"x"`
+		Y int32   `json:"y"`
+		L int32   `json:"l"`
+		W float64 `json:"w"`
+	} `json:"sinks"`
+
+	// DBif < 0 derives the penalty from the technology; Eta defaults to
+	// 0.25 when omitted.
+	DBif float64 `json:"dbif"`
+	Eta  float64 `json:"eta,omitempty"`
+	Seed uint64  `json:"seed,omitempty"`
+	// Margin expands the routing window around the terminals (gcells).
+	Margin int32 `json:"margin,omitempty"`
+
+	// Congestion rectangles: all routing segments on the given layer
+	// whose low endpoint lies in [x0,x1]×[y0,y1] get the multiplier.
+	Congestion []struct {
+		X0   int32   `json:"x0"`
+		Y0   int32   `json:"y0"`
+		X1   int32   `json:"x1"`
+		Y1   int32   `json:"y1"`
+		L    int32   `json:"l"`
+		Mult float32 `json:"mult"`
+	} `json:"congestion,omitempty"`
+}
+
+// ParseInstance decodes an InstanceJSON document into a solvable
+// Instance backed by the default technology.
+func ParseInstance(data []byte) (*Instance, error) {
+	var f InstanceJSON
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("costdist: parsing instance: %w", err)
+	}
+	if f.NX < 2 || f.NY < 2 || f.Layers < 2 {
+		return nil, fmt.Errorf("costdist: instance needs nx,ny ≥ 2 and layers ≥ 2")
+	}
+	tech := DefaultTech(f.Layers)
+	g := NewGrid(f.NX, f.NY, tech.BuildLayers(), tech.GCellUM)
+	c := NewCosts(g)
+	inBounds := func(x, y, l int32) error {
+		if x < 0 || x >= f.NX || y < 0 || y >= f.NY || l < 0 || l >= int32(f.Layers) {
+			return fmt.Errorf("costdist: pin (%d,%d,%d) outside grid", x, y, l)
+		}
+		return nil
+	}
+	if err := inBounds(f.Root[0], f.Root[1], f.Root[2]); err != nil {
+		return nil, err
+	}
+	dbif := f.DBif
+	if dbif < 0 {
+		dbif = tech.Dbif()
+	}
+	eta := f.Eta
+	if eta == 0 {
+		eta = 0.25
+	}
+	in := &Instance{
+		G: g, C: c,
+		Root: g.At(f.Root[0], f.Root[1], f.Root[2]),
+		DBif: dbif, Eta: eta, Seed: f.Seed,
+	}
+	for i, s := range f.Sinks {
+		if err := inBounds(s.X, s.Y, s.L); err != nil {
+			return nil, fmt.Errorf("sink %d: %w", i, err)
+		}
+		in.Sinks = append(in.Sinks, Sink{V: g.At(s.X, s.Y, s.L), W: s.W})
+	}
+	for _, r := range f.Congestion {
+		applyCongestion(g, c, r.L, r.X0, r.Y0, r.X1, r.Y1, r.Mult)
+	}
+	margin := f.Margin
+	if margin <= 0 {
+		margin = 8
+	}
+	in.Win = in.DefaultWindow(margin)
+	return in, nil
+}
+
+func applyCongestion(g *grid.Graph, c *grid.Costs, l, x0, y0, x1, y1 int32, mult float32) {
+	if l < 0 || l >= int32(len(g.Layers)) || mult < 1 {
+		return
+	}
+	for y := y0; y <= y1 && y < g.NY; y++ {
+		for x := x0; x <= x1 && x < g.NX; x++ {
+			if y < 0 || x < 0 {
+				continue
+			}
+			if g.Layers[l].Dir == grid.DirH {
+				if x < g.NX-1 {
+					c.Mult[g.SegH(l, y, x)] = mult
+				}
+			} else if y < g.NY-1 {
+				c.Mult[g.SegV(l, x, y)] = mult
+			}
+		}
+	}
+}
+
+// TreeJSON is the serialized form of a solved tree, emitted by
+// cmd/cdsteiner.
+type TreeJSON struct {
+	Total     float64       `json:"total"`
+	CongCost  float64       `json:"congestion_cost"`
+	DelayCost float64       `json:"delay_cost"`
+	SinkDelay []float64     `json:"sink_delay_ps"`
+	WireSteps int           `json:"wire_steps"`
+	Vias      int           `json:"vias"`
+	Edges     [][2][3]int32 `json:"edges"` // pairs of (x,y,l)
+}
+
+// MarshalTree serializes a tree with its evaluation.
+func MarshalTree(in *Instance, tr *Tree) ([]byte, error) {
+	ev, err := Evaluate(in, tr)
+	if err != nil {
+		return nil, err
+	}
+	out := TreeJSON{
+		Total: ev.Total, CongCost: ev.CongCost, DelayCost: ev.DelayCost,
+		SinkDelay: ev.SinkDelay, WireSteps: ev.WireSteps, Vias: ev.Vias,
+	}
+	for _, st := range tr.Steps {
+		fx, fy, fl := in.G.XYL(st.From)
+		tx, ty, tl := in.G.XYL(st.Arc.To)
+		out.Edges = append(out.Edges, [2][3]int32{{fx, fy, fl}, {tx, ty, tl}})
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
