@@ -1,0 +1,139 @@
+package costdist
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"costdist/internal/core"
+	"costdist/internal/router"
+)
+
+// Solver is a reusable Steiner tree solver. It owns a private scratch
+// arena (component records, heaps, label maps, ownership stamps) that
+// is recycled across calls, removing the per-call allocations that
+// dominate repeated solves. Results are bit-identical to the package
+// level SolveCD/Solve functions.
+//
+// A Solver is not safe for concurrent use; create one per goroutine.
+// SolveBatch does this automatically.
+type Solver struct {
+	scr *core.Scratch
+}
+
+// NewSolver returns a solver with an empty arena. The arena warms up
+// over the first few calls as its containers grow to the working-set
+// size of the instance stream.
+func NewSolver() *Solver {
+	return &Solver{scr: core.NewScratch()}
+}
+
+// SolveCD is SolveCD through the reusable arena. Any opt.Scratch set by
+// the caller is replaced by the solver's own arena.
+func (s *Solver) SolveCD(in *Instance, opt CDOptions) (*Tree, error) {
+	opt.Scratch = s.scr
+	return core.Solve(in, opt)
+}
+
+// SolveCDTraced is SolveCDTraced through the reusable arena.
+func (s *Solver) SolveCDTraced(in *Instance, opt CDOptions, trace func(TraceEvent)) (*Tree, error) {
+	opt.Scratch = s.scr
+	return core.SolveTraced(in, opt, trace)
+}
+
+// Solve runs any of the four methods through the reusable arena (the
+// arena accelerates the CD oracle; baselines pass through unchanged).
+func (s *Solver) Solve(in *Instance, m Method, opt RouterOptions) (*Tree, error) {
+	opt.CoreOpt.Scratch = s.scr
+	return router.SolveNet(in, m, opt)
+}
+
+// Solves reports how many solves completed through this solver's arena.
+func (s *Solver) Solves() int { return s.scr.Solves }
+
+// BatchOptions configures SolveBatch.
+type BatchOptions struct {
+	// Workers caps the number of parallel solver goroutines; 0 or
+	// negative means runtime.NumCPU(). The worker count never affects
+	// results, only throughput.
+	Workers int
+	// Router configures the oracle exactly as in Solve; its
+	// CoreOpt.Scratch is ignored (each worker gets a private arena).
+	Router RouterOptions
+}
+
+// DefaultBatchOptions pairs the paper's router setup with one worker
+// per CPU.
+func DefaultBatchOptions() BatchOptions {
+	return BatchOptions{Router: DefaultRouterOptions()}
+}
+
+// BatchResult is the outcome for one instance of a batch: the embedded
+// tree and its objective evaluation, or the error that instance
+// produced. Exactly one of Tree/Err is non-nil.
+type BatchResult struct {
+	Tree *Tree
+	Eval *Evaluation
+	Err  error
+}
+
+// SolveBatch solves every instance with the selected method, fanning
+// the work across parallel workers with one scratch arena each.
+// Results[i] always belongs to ins[i], every instance is solved under
+// its own Instance.Seed, and no state flows between instances — so the
+// output is bit-identical to the sequential loop
+//
+//	for i, in := range ins { tree[i], _ = Solve(in, m, opt.Router) }
+//
+// regardless of worker count or scheduling.
+//
+// Instances may share their Graph and Costs (both are read-only during
+// solves). A per-instance error does not abort the batch; check each
+// BatchResult.Err.
+func SolveBatch(ins []*Instance, m Method, opt BatchOptions) []BatchResult {
+	out := make([]BatchResult, len(ins))
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(ins) {
+		workers = len(ins)
+	}
+	if workers <= 1 {
+		s := NewSolver()
+		for i, in := range ins {
+			out[i] = solveOne(s, in, m, opt.Router)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := NewSolver()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(ins) {
+					return
+				}
+				out[i] = solveOne(s, ins[i], m, opt.Router)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+func solveOne(s *Solver, in *Instance, m Method, ropt RouterOptions) BatchResult {
+	tr, err := s.Solve(in, m, ropt)
+	if err != nil {
+		return BatchResult{Err: err}
+	}
+	ev, err := Evaluate(in, tr)
+	if err != nil {
+		return BatchResult{Err: err}
+	}
+	return BatchResult{Tree: tr, Eval: ev}
+}

@@ -1,0 +1,100 @@
+package costdist
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestSolveBatchMatchesSequential is the tentpole acceptance test: for
+// every method, SolveBatch across many workers must return bit-identical
+// trees and evaluations to the plain sequential Solve loop over the same
+// instances.
+func TestSolveBatchMatchesSequential(t *testing.T) {
+	ins := benchInstances(24, 5, 12, 24, 4)
+	ropt := DefaultRouterOptions()
+	for _, m := range []Method{L1, SL, PD, CD} {
+		want := make([]BatchResult, len(ins))
+		for i, in := range ins {
+			tr, err := Solve(in, m, ropt)
+			if err != nil {
+				t.Fatalf("%v seq %d: %v", m, i, err)
+			}
+			ev, err := Evaluate(in, tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[i] = BatchResult{Tree: tr, Eval: ev}
+		}
+		for _, workers := range []int{1, 3, 8} {
+			got := SolveBatch(ins, m, BatchOptions{Workers: workers, Router: ropt})
+			if len(got) != len(want) {
+				t.Fatalf("%v workers=%d: %d results", m, workers, len(got))
+			}
+			for i := range got {
+				if got[i].Err != nil {
+					t.Fatalf("%v workers=%d instance %d: %v", m, workers, i, got[i].Err)
+				}
+				if !reflect.DeepEqual(want[i].Tree, got[i].Tree) {
+					t.Fatalf("%v workers=%d instance %d: tree differs from sequential", m, workers, i)
+				}
+				if !reflect.DeepEqual(want[i].Eval, got[i].Eval) {
+					t.Fatalf("%v workers=%d instance %d: evaluation differs from sequential", m, workers, i)
+				}
+			}
+		}
+	}
+}
+
+// TestSolverReuseMatchesFresh drives one public Solver across a stream
+// of instances and compares against one-shot solves.
+func TestSolverReuseMatchesFresh(t *testing.T) {
+	ins := benchInstances(24, 5, 16, 12, 4)
+	s := NewSolver()
+	opt := DefaultCDOptions()
+	for i, in := range ins {
+		want, err := SolveCD(in, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.SolveCD(in, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("instance %d: reused solver diverged", i)
+		}
+	}
+	if s.Solves() != len(ins) {
+		t.Fatalf("Solves = %d, want %d", s.Solves(), len(ins))
+	}
+}
+
+// TestSolveBatchErrorIsolation checks a failing instance reports its
+// error without poisoning the rest of the batch.
+func TestSolveBatchErrorIsolation(t *testing.T) {
+	ins := benchInstances(24, 5, 8, 8, 4)
+	bad := *ins[3]
+	bad.Win.X1 = bad.Win.X0 - 1 // empty window: nothing can route
+	ins[3] = &bad
+	got := SolveBatch(ins, CD, BatchOptions{Workers: 4, Router: DefaultRouterOptions()})
+	for i, r := range got {
+		if i == 3 {
+			if r.Err == nil {
+				t.Fatal("instance 3 should fail")
+			}
+			continue
+		}
+		if r.Err != nil {
+			t.Fatalf("instance %d poisoned: %v", i, r.Err)
+		}
+		if r.Tree == nil || r.Eval == nil {
+			t.Fatalf("instance %d missing result", i)
+		}
+	}
+}
+
+func TestSolveBatchEmpty(t *testing.T) {
+	if got := SolveBatch(nil, CD, DefaultBatchOptions()); len(got) != 0 {
+		t.Fatalf("empty batch returned %d results", len(got))
+	}
+}

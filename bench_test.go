@@ -9,6 +9,8 @@ package costdist
 //	BenchmarkTableIV / V       — global routing flow (Tables IV/V)
 //	BenchmarkFigure1/2/3       — figure regeneration
 //	BenchmarkCDSolve*          — the core algorithm per instance size
+//	BenchmarkCDSolveScratch*   — same, through a reusable solver arena
+//	BenchmarkSolveBatch*       — batch API, sequential vs all cores
 //	BenchmarkBaseline*         — topology+embedding baselines
 //	BenchmarkCDScaling*        — Theorem 1 runtime scaling in n and t
 //	BenchmarkAblation*         — §III enhancement on/off (DESIGN.md §4)
@@ -57,9 +59,30 @@ func benchInstances(nx int32, layers, sinks, n int, dbif float64) []*Instance {
 
 func benchSolve(b *testing.B, ins []*Instance, opt CDOptions) {
 	b.Helper()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := SolveCD(ins[i%len(ins)], opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchSolveScratch is benchSolve through one reusable arena — the
+// before/after pair for the scratch subsystem (compare
+// BenchmarkCDSolveT16 vs BenchmarkCDSolveScratchT16 under -benchmem).
+func benchSolveScratch(b *testing.B, ins []*Instance, opt CDOptions) {
+	b.Helper()
+	s := NewSolver()
+	for _, in := range ins { // warm the arena to steady state
+		if _, err := s.SolveCD(in, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.SolveCD(ins[i%len(ins)], opt); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -76,6 +99,39 @@ func BenchmarkCDSolveT16(b *testing.B) {
 func BenchmarkCDSolveT64(b *testing.B) {
 	benchSolve(b, benchInstances(48, 5, 64, 8, 4), DefaultCDOptions())
 }
+
+func BenchmarkCDSolveScratchT4(b *testing.B) {
+	benchSolveScratch(b, benchInstances(32, 5, 4, 32, 4), DefaultCDOptions())
+}
+
+func BenchmarkCDSolveScratchT16(b *testing.B) {
+	benchSolveScratch(b, benchInstances(32, 5, 16, 16, 4), DefaultCDOptions())
+}
+
+func BenchmarkCDSolveScratchT64(b *testing.B) {
+	benchSolveScratch(b, benchInstances(48, 5, 64, 8, 4), DefaultCDOptions())
+}
+
+// Batch throughput: one wave-sized batch of nets per iteration,
+// sequentially and fanned across all cores.
+func benchBatch(b *testing.B, workers int) {
+	b.Helper()
+	ins := benchInstances(32, 5, 16, 64, 4)
+	opt := BatchOptions{Workers: workers, Router: DefaultRouterOptions()}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := SolveBatch(ins, CD, opt)
+		for j := range res {
+			if res[j].Err != nil {
+				b.Fatal(res[j].Err)
+			}
+		}
+	}
+}
+
+func BenchmarkSolveBatchSeq(b *testing.B) { benchBatch(b, 1) }
+func BenchmarkSolveBatchPar(b *testing.B) { benchBatch(b, 0) }
 
 func benchBaseline(b *testing.B, m Method, sinks int) {
 	b.Helper()
@@ -234,6 +290,7 @@ func BenchmarkRouteChipCD(b *testing.B) {
 	}
 	opt := router.DefaultOptions()
 	opt.Waves = 2
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := RouteChip(chip, CD, opt); err != nil {

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	grroute -chip c3 -method CD -scale 0.01 -waves 4 [-dbif=0] [-threads 16]
+//	grroute -chip c3 -method CD -scale 0.01 -waves 4 [-dbif=0] [-workers 16]
 package main
 
 import (
@@ -21,7 +21,8 @@ func main() {
 	method := flag.String("method", "CD", "oracle: CD, L1, SL or PD")
 	scale := flag.Float64("scale", 0.01, "net count scale vs the paper (1.0 = full)")
 	waves := flag.Int("waves", 4, "rip-up-and-reroute waves")
-	threads := flag.Int("threads", 0, "routing workers (0 = all cores)")
+	workers := flag.Int("workers", 0, "parallel routing workers, one solver arena each (0 = all cores)")
+	threads := flag.Int("threads", 0, "deprecated alias for -workers")
 	dbif := flag.Float64("dbif", -1, "bifurcation penalty ps (-1: derive from technology, 0: off)")
 	seed := flag.Uint64("seed", 1, "random seed")
 	flag.Parse()
@@ -50,7 +51,10 @@ func main() {
 	}
 	opt := costdist.DefaultRouterOptions()
 	opt.Waves = *waves
-	opt.Threads = *threads
+	opt.Threads = *workers
+	if opt.Threads == 0 {
+		opt.Threads = *threads
+	}
 	opt.DBif = *dbif
 	opt.Seed = *seed
 

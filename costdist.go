@@ -18,7 +18,11 @@
 //   - a timing-constrained global router with Lagrangean congestion and
 //     timing pricing (RouteChip), synthetic chip generation matching the
 //     paper's Table III (ChipSuite/GenerateChip), and the shared objective
-//     evaluator (Evaluate) used for all comparisons.
+//     evaluator (Evaluate) used for all comparisons;
+//   - a batch-solving subsystem for throughput workloads: Solver reuses
+//     a scratch arena so repeated solves stop allocating, and SolveBatch
+//     fans instances across parallel workers with bit-identical results
+//     to a sequential loop (see batch.go).
 //
 // Everything is deterministic given explicit seeds and uses only the
 // standard library.

@@ -1,0 +1,122 @@
+package costdist_test
+
+import (
+	"fmt"
+	"log"
+
+	"costdist"
+)
+
+// ExampleSolveCD builds a small routing graph, defines one net with a
+// timing-critical sink, and solves it with the paper's cost-distance
+// algorithm.
+func ExampleSolveCD() {
+	tech := costdist.DefaultTech(6)
+	g := costdist.NewGrid(32, 32, costdist.BuildLayers(tech), tech.GCellUM)
+
+	in := &costdist.Instance{
+		G: g, C: costdist.NewCosts(g),
+		Root: g.At(3, 3, 0),
+		Sinks: []costdist.Sink{
+			{V: g.At(28, 6, 0), W: 0.05}, // timing-critical
+			{V: g.At(24, 26, 0), W: 0.002},
+			{V: g.At(6, 24, 0), W: 0}, // don't care
+		},
+		DBif: costdist.Dbif(tech),
+		Eta:  0.25,
+		Seed: 1,
+	}
+	in.Win = in.DefaultWindow(6)
+
+	tr, err := costdist.SolveCD(in, costdist.DefaultCDOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	ev, err := costdist.Evaluate(in, tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wire steps: %d\n", ev.WireSteps)
+	fmt.Printf("vias: %d\n", ev.Vias)
+	fmt.Printf("objective: %.3f\n", ev.Total)
+	// Output:
+	// wire steps: 70
+	// vias: 13
+	// objective: 150.187
+}
+
+// ExampleParseInstance decodes the JSON schema consumed by
+// cmd/cdsteiner into a solvable instance.
+func ExampleParseInstance() {
+	doc := []byte(`{
+		"nx": 16, "ny": 16, "layers": 4,
+		"root": [2, 2, 0],
+		"sinks": [
+			{"x": 12, "y": 4,  "l": 0, "w": 0.02},
+			{"x": 5,  "y": 13, "l": 0, "w": 0.001}
+		],
+		"dbif": -1,
+		"congestion": [
+			{"x0": 6, "y0": 0, "x1": 9, "y1": 15, "l": 1, "mult": 4}
+		]
+	}`)
+	in, err := costdist.ParseInstance(doc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sinks: %d\n", len(in.Sinks))
+	fmt.Printf("dbif derived: %t\n", in.DBif > 0)
+
+	tr, err := costdist.SolveCD(in, costdist.DefaultCDOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := costdist.MarshalTree(in, tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("encoded: %t\n", len(out) > 0)
+	// Output:
+	// sinks: 2
+	// dbif derived: true
+	// encoded: true
+}
+
+// ExampleSolveBatch solves a batch of independent instances across all
+// CPU cores with one reusable solver arena per worker. Results are
+// bit-identical to a sequential Solve loop, in input order.
+func ExampleSolveBatch() {
+	tech := costdist.DefaultTech(5)
+	g := costdist.NewGrid(24, 24, costdist.BuildLayers(tech), tech.GCellUM)
+	costs := costdist.NewCosts(g)
+
+	ins := make([]*costdist.Instance, 4)
+	for i := range ins {
+		in := &costdist.Instance{
+			G: g, C: costs,
+			Root: g.At(2, int32(2+5*i), 0),
+			Sinks: []costdist.Sink{
+				{V: g.At(20, int32(3+4*i), 0), W: 0.01},
+				{V: g.At(12, 20, 0), W: 0.001},
+			},
+			DBif: costdist.Dbif(tech),
+			Eta:  0.25,
+			Seed: uint64(i),
+		}
+		in.Win = in.DefaultWindow(6)
+		ins[i] = in
+	}
+
+	results := costdist.SolveBatch(ins, costdist.CD, costdist.DefaultBatchOptions())
+	for i, r := range results {
+		if r.Err != nil {
+			log.Fatal(r.Err)
+		}
+		fmt.Printf("net %d: objective %.3f\n", i, r.Eval.Total)
+	}
+	// Output:
+	// net 0: objective 66.503
+	// net 1: objective 60.322
+	// net 2: objective 56.747
+	// net 3: objective 53.173
+}

@@ -1,0 +1,3 @@
+module costdist
+
+go 1.22

@@ -54,6 +54,12 @@ type Options struct {
 	// FlatHeap replaces the two-level heap with a single global heap
 	// (ablation of §III-B; results are identical, speed differs).
 	FlatHeap bool
+	// Scratch, when non-nil, supplies a reusable arena for the solver's
+	// per-call state (components, heaps, label maps, ownership stamps).
+	// Results are bit-identical with or without it. A Scratch must not
+	// be shared between concurrent solves; Route/SolveBatch install one
+	// per worker and ignore a caller-provided value.
+	Scratch *Scratch
 }
 
 // DefaultOptions returns the configuration used for the paper's "CD"

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"math/rand/v2"
+
+	"costdist/internal/sparse"
+)
+
+// Scratch is a reusable solver arena. A single Solve call on a t-sink
+// instance allocates O(t) component records, label maps, heap storage
+// and ownership stamps; routing re-solves every net once per
+// rip-up-and-reroute wave, so those allocations dominate the hot path.
+// A Scratch retains all of that state between calls and resets it in
+// O(touched) — label maps and the ownership map clear by bumping a
+// generation stamp (O(1)), heaps and the union-find reset in O(t), and
+// component records are recycled through a free list.
+//
+// Pass a Scratch via Options.Scratch. Results are bit-identical to
+// scratch-free solves: no container exposes iteration order to the
+// algorithm, so retained capacity cannot change any tie-breaking.
+//
+// A Scratch is not safe for concurrent use; use one per goroutine
+// (internal/router keeps one per routing worker, the public
+// costdist.SolveBatch one per batch worker).
+type Scratch struct {
+	sol      solver // reused solver; its containers retain capacity
+	compPool []*comp
+	mapPool  []*sparse.Map
+	pcg      *rand.PCG
+
+	// Solves counts completed calls through this arena (cheap visibility
+	// for tests and metrics).
+	Solves int
+}
+
+// NewScratch returns an empty arena. The zero value is not usable;
+// arenas must be created here so the embedded solver links back to its
+// pools.
+func NewScratch() *Scratch {
+	scr := &Scratch{}
+	scr.sol.scr = scr
+	return scr
+}
+
+// newComp returns a zeroed component record, recycling heap storage from
+// merged components of earlier solves.
+func (scr *Scratch) newComp() *comp {
+	if n := len(scr.compPool); n > 0 {
+		c := scr.compPool[n-1]
+		scr.compPool = scr.compPool[:n-1]
+		h := c.heap
+		h.Reset()
+		*c = comp{heap: h}
+		return c
+	}
+	return &comp{}
+}
+
+// getMap returns an empty label map, recycling capacity.
+func (scr *Scratch) getMap() *sparse.Map {
+	if n := len(scr.mapPool); n > 0 {
+		m := scr.mapPool[n-1]
+		scr.mapPool = scr.mapPool[:n-1]
+		m.Reset()
+		return m
+	}
+	return sparse.NewMap(64)
+}
+
+// putMap returns a label map to the pool.
+func (scr *Scratch) putMap(m *sparse.Map) {
+	if m != nil {
+		scr.mapPool = append(scr.mapPool, m)
+	}
+}
+
+// reseed (re)initializes the deterministic RNG for one instance seed.
+// Reseeding an existing PCG is state-identical to rand.NewPCG, so reuse
+// does not perturb the randomized merge choices.
+func (scr *Scratch) reseed(seed uint64) *rand.Rand {
+	if scr.pcg == nil {
+		scr.pcg = rand.NewPCG(seed, seedStream)
+		return rand.New(scr.pcg)
+	}
+	scr.pcg.Seed(seed, seedStream)
+	if scr.sol.rng == nil {
+		return rand.New(scr.pcg)
+	}
+	return scr.sol.rng
+}
+
+// release returns the previous solve's component records and label maps
+// to the pools. It runs at the start of the next solve (rather than at
+// the end of the current one) so error paths need no cleanup.
+func (scr *Scratch) release() {
+	s := &scr.sol
+	for _, c := range s.comps {
+		scr.putMap(c.labels)
+		c.labels = nil
+		scr.compPool = append(scr.compPool, c)
+	}
+	s.comps = s.comps[:0]
+}

@@ -12,6 +12,10 @@ import (
 	"costdist/internal/sparse"
 )
 
+// seedStream is the fixed PCG stream constant; every instance seed
+// selects a state on this stream.
+const seedStream = 0x9E3779B97F4A7C15
+
 // Solve runs the cost-distance algorithm on the instance and returns the
 // embedded Steiner tree.
 func Solve(in *nets.Instance, opt Options) (*nets.RTree, error) {
@@ -20,52 +24,91 @@ func Solve(in *nets.Instance, opt Options) (*nets.RTree, error) {
 
 // SolveTraced is Solve with a per-merge trace callback (used for the
 // Figure 3 reproduction and debugging). The callback may be nil.
+//
+// When opt.Scratch is non-nil the solver runs out of that arena,
+// recycling component, heap and label storage from earlier calls; the
+// result is bit-identical to a scratch-free solve.
 func SolveTraced(in *nets.Instance, opt Options, trace func(TraceEvent)) (*nets.RTree, error) {
-	s := &solver{
-		in:    in,
-		opt:   opt,
-		g:     in.G,
-		costs: in.C,
-		owner: make(map[grid.V]int32),
-		trace: trace,
-		rng:   rand.New(rand.NewPCG(in.Seed, 0x9E3779B97F4A7C15)),
+	scr := opt.Scratch
+	if scr == nil {
+		scr = NewScratch()
 	}
+	return scr.solve(in, opt, trace)
+}
+
+// solve resets the arena's solver state for one instance and runs the
+// merge loop.
+func (scr *Scratch) solve(in *nets.Instance, opt Options, trace func(TraceEvent)) (*nets.RTree, error) {
+	s := &scr.sol
+	scr.release()
+	// Drop instance references on return: a pooled arena must not pin
+	// the last instance's graph and costs (the dominant memory of a
+	// chip) across idle periods or into the next chip of a suite.
+	defer func() {
+		s.in, s.g, s.costs, s.trace = nil, nil, nil, nil
+		s.opt = Options{}
+	}()
+	s.in, s.opt = in, opt
+	s.g, s.costs = in.G, in.C
+	s.trace = trace
+	s.owner.Reset()
+	s.flat.Reset()
+	s.steps = s.steps[:0]
+	s.activeW, s.alive, s.iter = 0, 0, 0
+	s.rng = scr.reseed(in.Seed)
 	s.minCost = in.C.MinCostPerGCell()
 	s.minDelay = in.C.MinDelayPerGCell()
 
 	// Root component (id 0).
-	root := &comp{id: 0, alive: true, isRoot: true, rep: in.Root,
-		bbox: geom.BBox([]geom.Pt{in.G.Pt(in.Root)})}
+	root := scr.newComp()
+	root.alive, root.isRoot = true, true
+	root.rep = in.Root
+	root.bbox = ptRect(in.G.Pt(in.Root))
 	s.comps = append(s.comps, root)
-	s.owner[in.Root] = 0
+	s.owner.Put(int32(in.Root), 0)
 
 	// Sink components, grouped by vertex; sinks at the root vertex are
 	// already connected.
-	byVertex := map[grid.V]float64{}
-	var order []grid.V
+	if s.byVertex == nil {
+		s.byVertex = make(map[grid.V]float64)
+	} else {
+		clear(s.byVertex)
+	}
+	s.order = s.order[:0]
 	for _, sk := range in.Sinks {
 		if sk.V == in.Root {
 			continue
 		}
-		if _, ok := byVertex[sk.V]; !ok {
-			order = append(order, sk.V)
+		if _, ok := s.byVertex[sk.V]; !ok {
+			s.order = append(s.order, sk.V)
 		}
-		byVertex[sk.V] += sk.W
+		s.byVertex[sk.V] += sk.W
 	}
-	for _, v := range order {
-		c := &comp{
-			id: int32(len(s.comps)), weight: byVertex[v], alive: true,
-			rep: v, bbox: geom.BBox([]geom.Pt{in.G.Pt(v)}),
-		}
+	for _, v := range s.order {
+		c := scr.newComp()
+		c.id = int32(len(s.comps))
+		c.weight = s.byVertex[v]
+		c.alive = true
+		c.rep = v
+		c.bbox = ptRect(in.G.Pt(v))
 		s.comps = append(s.comps, c)
-		s.owner[v] = c.id
+		s.owner.Put(int32(v), c.id)
 		s.activeW += c.weight
 		s.alive++
 	}
 
-	s.sets = dsu.New(len(s.comps))
-	s.top = heaps.NewIndexed(len(s.comps))
-	s.rootTop = heaps.NewIndexed(len(s.comps))
+	if s.sets == nil {
+		s.sets = dsu.New(len(s.comps))
+	} else {
+		s.sets.Reset(len(s.comps))
+	}
+	if s.top == nil {
+		s.top = heaps.NewIndexed(len(s.comps))
+		s.rootTop = heaps.NewIndexed(len(s.comps))
+	} else {
+		s.top.Reset(len(s.comps))
+		s.rootTop.Reset(len(s.comps))
+	}
 	for _, c := range s.comps[1:] {
 		s.startSearch(c)
 	}
@@ -75,6 +118,7 @@ func SolveTraced(in *nets.Instance, opt Options, trace func(TraceEvent)) (*nets.
 			return nil, err
 		}
 	}
+	scr.Solves++
 	// Stale label chains (settled before a vertex was claimed by a later
 	// merge) can make reconstructed paths re-use existing tree edges;
 	// pruning deduplicates and keeps a spanning tree, which only removes
@@ -82,14 +126,21 @@ func SolveTraced(in *nets.Instance, opt Options, trace func(TraceEvent)) (*nets.
 	return nets.PruneToTree(in, s.steps)
 }
 
+// ptRect is the degenerate bounding box of a single point.
+func ptRect(p geom.Pt) geom.Rect {
+	return geom.Rect{X0: p.X, Y0: p.Y, X1: p.X, Y1: p.Y}
+}
+
 type solver struct {
+	scr *Scratch
+
 	in    *nets.Instance
 	opt   Options
 	g     *grid.Graph
 	costs *grid.Costs
 
 	comps   []*comp
-	owner   map[grid.V]int32
+	owner   sparse.I32Map
 	sets    *dsu.DSU
 	top     *heaps.Indexed
 	rootTop *heaps.Indexed
@@ -99,6 +150,11 @@ type solver struct {
 	alive   int
 	iter    int
 	steps   []nets.Step
+	pathBuf []grid.V
+
+	// byVertex and order group coincident sinks during setup.
+	byVertex map[grid.V]float64
+	order    []grid.V
 
 	minCost, minDelay float64
 	rng               *rand.Rand
@@ -112,7 +168,7 @@ type flatEntry struct {
 
 // resolveOwner returns the current alive component owning v, or -1.
 func (s *solver) resolveOwner(v grid.V) int32 {
-	id, ok := s.owner[v]
+	id, ok := s.owner.Get(int32(v))
 	if !ok {
 		return -1
 	}
@@ -181,7 +237,7 @@ func rectDist(p geom.Pt, r geom.Rect) int64 {
 
 // startSearch initializes component c's Dijkstra from its representative.
 func (s *solver) startSearch(c *comp) {
-	c.labels = sparse.NewMap(64)
+	c.labels = s.scr.getMap()
 	c.heap.Reset()
 	c.hasRoot = false
 	c.astar = s.opt.AStar && s.alive <= s.opt.AStarMaxTargets+1
@@ -470,8 +526,13 @@ func (s *solver) relax(c *comp, to grid.V, ng float64, from grid.V, a grid.Arc, 
 func (s *solver) merge(c *comp, jid int32, p grid.V, toRoot bool) {
 	j := s.comps[jid]
 
-	// Reconstruct path from p back to c's seed.
-	var path []grid.V
+	// Reconstruct path from p back to c's seed. When nobody traces, the
+	// path lives in a recycled buffer; a trace callback may retain its
+	// event, so it gets a fresh slice.
+	path := s.pathBuf[:0]
+	if s.trace != nil {
+		path = nil
+	}
 	cur := p
 	for {
 		path = append(path, cur)
@@ -487,6 +548,9 @@ func (s *solver) merge(c *comp, jid int32, p grid.V, toRoot bool) {
 		}
 		cur = prev
 	}
+	if s.trace == nil {
+		s.pathBuf = path
+	}
 
 	ev := TraceEvent{
 		Iter: s.iter, ToRoot: toRoot,
@@ -501,13 +565,12 @@ func (s *solver) merge(c *comp, jid int32, p grid.V, toRoot bool) {
 	s.sets.Grow(1)
 	s.top.Grow(1)
 	s.rootTop.Grow(1)
-	k := &comp{id: nid, alive: true}
+	k := s.scr.newComp()
+	k.id, k.alive = nid, true
 	k.bbox = c.bbox.Union(j.bbox)
 	for _, v := range path {
 		k.bbox = k.bbox.Add(s.g.Pt(v))
-		if _, ok := s.owner[v]; !ok {
-			s.owner[v] = nid
-		}
+		s.owner.PutIfAbsent(int32(v), nid)
 	}
 	if toRoot {
 		k.isRoot = true
@@ -521,9 +584,11 @@ func (s *solver) merge(c *comp, jid int32, p grid.V, toRoot bool) {
 	}
 	ev.NewRep = s.g.Pt(k.rep)
 
-	// Deactivate the merged pair.
-	for _, old := range []*comp{c, j} {
+	// Deactivate the merged pair, returning their label maps to the
+	// arena.
+	for _, old := range [2]*comp{c, j} {
 		old.alive = false
+		s.scr.putMap(old.labels)
 		old.labels = nil
 		old.heap.Reset()
 		s.refreshTop(old)

@@ -20,6 +20,28 @@ func New(n int) *DSU {
 	return d
 }
 
+// Reset reinitializes the structure to n singleton sets, retaining the
+// backing storage of previous, larger universes. It lets one DSU be
+// recycled across solver calls (core.Scratch).
+func (d *DSU) Reset(n int) {
+	// parent and size grow through independent appends, so their
+	// capacities may differ; check each.
+	if cap(d.parent) < n {
+		d.parent = make([]int32, n)
+	} else {
+		d.parent = d.parent[:n]
+	}
+	if cap(d.size) < n {
+		d.size = make([]int32, n)
+	} else {
+		d.size = d.size[:n]
+	}
+	for i := 0; i < n; i++ {
+		d.parent[i] = int32(i)
+		d.size[i] = 1
+	}
+}
+
 // Len returns the number of elements (not sets).
 func (d *DSU) Len() int { return len(d.parent) }
 

@@ -105,3 +105,43 @@ func TestAgainstNaive(t *testing.T) {
 		}
 	}
 }
+
+func TestReset(t *testing.T) {
+	d := New(4)
+	d.Union(0, 1)
+	d.Union(2, 3)
+	d.Grow(2)
+	d.Union(4, 5)
+
+	d.Reset(3)
+	if d.Len() != 3 {
+		t.Fatalf("Len after Reset = %d", d.Len())
+	}
+	for i := int32(0); i < 3; i++ {
+		if d.Find(i) != i || d.SetSize(i) != 1 {
+			t.Fatalf("element %d not singleton after Reset", i)
+		}
+	}
+	d.UnionInto(2, 0)
+	if d.Find(0) != 2 || d.SetSize(2) != 2 {
+		t.Fatal("DSU unusable after Reset")
+	}
+
+	// Reset to a larger universe than ever seen.
+	d.Reset(50)
+	if d.Len() != 50 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	for i := int32(0); i < 50; i++ {
+		if d.Find(i) != i {
+			t.Fatalf("element %d not singleton", i)
+		}
+	}
+	rng := rand.New(rand.NewPCG(3, 5))
+	for i := 0; i < 100; i++ {
+		d.Union(int32(rng.IntN(50)), int32(rng.IntN(50)))
+	}
+	if d.SetSize(d.Find(0)) < 1 {
+		t.Fatal("unexpected size")
+	}
+}

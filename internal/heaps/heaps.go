@@ -116,6 +116,34 @@ func NewIndexed(n int) *Indexed {
 	return h
 }
 
+// Reset reinitializes the heap to n slots, all at key Inf, retaining
+// the backing storage of previous, larger universes. It lets one Indexed
+// heap be recycled across solver calls (core.Scratch).
+func (h *Indexed) Reset(n int) {
+	// The three backing slices grow through independent appends, so
+	// their capacities may differ; check each.
+	if cap(h.key) < n {
+		h.key = make([]float64, n)
+	} else {
+		h.key = h.key[:n]
+	}
+	if cap(h.heap) < n {
+		h.heap = make([]int32, n)
+	} else {
+		h.heap = h.heap[:n]
+	}
+	if cap(h.pos) < n {
+		h.pos = make([]int32, n)
+	} else {
+		h.pos = h.pos[:n]
+	}
+	for i := 0; i < n; i++ {
+		h.key[i] = Inf
+		h.heap[i] = int32(i)
+		h.pos[i] = int32(i)
+	}
+}
+
 // Grow adds k new slots at key Inf.
 func (h *Indexed) Grow(k int) {
 	for i := 0; i < k; i++ {

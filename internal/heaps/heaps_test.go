@@ -191,3 +191,73 @@ func BenchmarkIndexedSet(b *testing.B) {
 		h.Set(int32(i&255), rng.Float64())
 	}
 }
+
+func TestIndexedReset(t *testing.T) {
+	h := NewIndexed(8)
+	for i := int32(0); i < 8; i++ {
+		h.Set(i, float64(10-i))
+	}
+	h.Grow(4)
+	h.Set(10, 0.5)
+
+	// Shrink to a smaller universe and check it behaves like a fresh heap.
+	h.Reset(3)
+	if h.Len() != 3 {
+		t.Fatalf("Len after Reset = %d", h.Len())
+	}
+	if _, k := h.Min(); k != Inf {
+		t.Fatalf("Min after Reset = %v, want Inf", k)
+	}
+	h.Set(2, 7)
+	h.Set(0, 9)
+	if s, k := h.Min(); s != 2 || k != 7 {
+		t.Fatalf("Min = %d,%v", s, k)
+	}
+	h.Grow(2)
+	h.Set(4, 1)
+	if s, k := h.Min(); s != 4 || k != 1 {
+		t.Fatalf("Min after Grow = %d,%v", s, k)
+	}
+
+	// Reset to a larger universe than ever seen.
+	h.Reset(20)
+	if h.Len() != 20 {
+		t.Fatalf("Len = %d", h.Len())
+	}
+	for i := int32(0); i < 20; i++ {
+		if h.Key(i) != Inf {
+			t.Fatalf("slot %d kept key %v across Reset", i, h.Key(i))
+		}
+	}
+	h.Set(19, 2)
+	if s, _ := h.Min(); s != 19 {
+		t.Fatalf("Min = %d", s)
+	}
+}
+
+// TestIndexedResetMatchesFresh drives a recycled heap and a fresh heap
+// through an identical random schedule and requires identical behavior.
+func TestIndexedResetMatchesFresh(t *testing.T) {
+	recycled := NewIndexed(1)
+	for round := 0; round < 30; round++ {
+		rng := rand.New(rand.NewPCG(uint64(round), 99))
+		n := 1 + rng.IntN(40)
+		recycled.Reset(n)
+		fresh := NewIndexed(n)
+		for op := 0; op < 200; op++ {
+			s := int32(rng.IntN(recycled.Len()))
+			k := rng.Float64() * 100
+			recycled.Set(s, k)
+			fresh.Set(s, k)
+			if rng.IntN(20) == 0 {
+				recycled.Grow(1)
+				fresh.Grow(1)
+			}
+			rs, rk := recycled.Min()
+			fs, fk := fresh.Min()
+			if rs != fs || rk != fk {
+				t.Fatalf("round %d op %d: recycled Min=%d,%v fresh Min=%d,%v", round, op, rs, rk, fs, fk)
+			}
+		}
+	}
+}

@@ -131,8 +131,27 @@ type Result struct {
 	Captured []*nets.Instance
 }
 
+// scratchPool hands each routing worker a private core.Scratch arena so
+// every rip-up-and-reroute wave re-solves its nets without re-allocating
+// solver state. Pools persist across waves (and, via RouteAll, across
+// chips of a suite).
+type scratchPool struct {
+	scr []*core.Scratch
+}
+
+// grow ensures the pool holds at least n arenas.
+func (p *scratchPool) grow(n int) {
+	for len(p.scr) < n {
+		p.scr = append(p.scr, core.NewScratch())
+	}
+}
+
 // Route runs the full flow on the chip with the given oracle.
 func Route(chip *chipgen.Chip, m Method, opt Options) (*Result, error) {
+	return routeWith(chip, m, opt, &scratchPool{})
+}
+
+func routeWith(chip *chipgen.Chip, m Method, opt Options, pool *scratchPool) (*Result, error) {
 	start := time.Now()
 	g := chip.G
 	nl := chip.NL
@@ -144,6 +163,7 @@ func Route(chip *chipgen.Chip, m Method, opt Options) (*Result, error) {
 	if threads <= 0 {
 		threads = runtime.GOMAXPROCS(0)
 	}
+	pool.grow(threads)
 	pricer := cong.NewPricer(g, opt.PriceAlpha, opt.PriceTarget)
 
 	nNets := len(nl.Nets)
@@ -218,6 +238,13 @@ func Route(chip *chipgen.Chip, m Method, opt Options) (*Result, error) {
 			wg.Add(1)
 			go func(worker int) {
 				defer wg.Done()
+				// Each worker solves through its own arena; results are
+				// unchanged (solves are per-instance deterministic) while
+				// per-net solver allocations disappear. Any caller-provided
+				// scratch is overridden — sharing one across workers would
+				// race.
+				wopt := opt
+				wopt.CoreOpt.Scratch = pool.scr[worker]
 				for {
 					ni := int(next.Add(1)) - 1
 					if ni >= nNets {
@@ -225,7 +252,7 @@ func Route(chip *chipgen.Chip, m Method, opt Options) (*Result, error) {
 					}
 					in := buildInstance(chip, ni, weights[ni], costs, dbif, opt)
 					in.Budgets = budgets[ni]
-					tr, err := routeNet(in, m, opt, lbif)
+					tr, err := routeNet(in, m, wopt, lbif)
 					if err != nil {
 						if workerErr[worker] == nil {
 							workerErr[worker] = fmt.Errorf("net %d: %w", ni, err)
@@ -406,11 +433,14 @@ func snapshot(in *nets.Instance) *nets.Instance {
 }
 
 // RouteAll routes every chip of a suite with one method, returning rows
-// in suite order. It exists for the Tables IV/V harness.
+// in suite order. It exists for the Tables IV/V harness. One worker
+// scratch pool is shared across all chips, so solver state is recycled
+// suite-wide, not just within one chip's waves.
 func RouteAll(chips []*chipgen.Chip, m Method, opt Options) ([]Metrics, error) {
 	out := make([]Metrics, len(chips))
+	pool := &scratchPool{}
 	for i, chip := range chips {
-		r, err := Route(chip, m, opt)
+		r, err := routeWith(chip, m, opt, pool)
 		if err != nil {
 			return nil, fmt.Errorf("%s/%s: %w", chip.Spec.Name, m, err)
 		}

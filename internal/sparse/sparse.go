@@ -1,9 +1,13 @@
-// Package sparse provides an open-addressing hash map from int32 vertex
-// ids to Dijkstra labels. Each per-sink search in the cost-distance
+// Package sparse provides open-addressing hash maps from int32 vertex
+// ids to per-search payloads. Each per-sink search in the cost-distance
 // algorithm labels only a local region of the (potentially huge) global
 // routing graph, so dense per-search arrays would waste O(t·n) memory;
-// this map keeps per-search memory proportional to the labeled region
+// these maps keep per-search memory proportional to the labeled region
 // while staying allocation-free on the hot path.
+//
+// Both map types clear by bumping a generation stamp, so Reset is O(1)
+// and retained capacity makes them suitable as arena members that are
+// recycled across many solver calls (core.Scratch).
 package sparse
 
 // Label is a Dijkstra label: tentative distance, predecessor vertex and
@@ -17,7 +21,8 @@ type Label struct {
 }
 
 type entry struct {
-	key int32 // vertex id, -1 = empty
+	key int32
+	gen uint32 // slot is live iff gen == map generation
 	lab Label
 }
 
@@ -27,6 +32,7 @@ type Map struct {
 	entries []entry
 	n       int
 	mask    uint32
+	gen     uint32
 }
 
 // NewMap returns a map with capacity for roughly capHint entries before
@@ -43,20 +49,26 @@ func NewMap(capHint int) *Map {
 
 func (m *Map) init(size int) {
 	m.entries = make([]entry, size)
-	for i := range m.entries {
-		m.entries[i].key = -1
-	}
 	m.mask = uint32(size - 1)
+	m.gen = 1
 	m.n = 0
 }
 
 // Len returns the number of stored labels.
 func (m *Map) Len() int { return m.n }
 
-// Reset removes all entries, retaining capacity.
+// Reset removes all entries in O(1) by advancing the generation stamp,
+// retaining capacity. Stale slots are reclaimed lazily by later Puts.
 func (m *Map) Reset() {
-	for i := range m.entries {
-		m.entries[i].key = -1
+	if m.entries == nil {
+		m.init(16)
+		return
+	}
+	m.gen++
+	if m.gen == 0 {
+		// Generation counter wrapped: old stamps would read as live
+		// again, so pay one full clear every 2^32 resets.
+		m.init(len(m.entries))
 	}
 	m.n = 0
 }
@@ -77,11 +89,11 @@ func (m *Map) Get(v int32) *Label {
 	i := hash(v) & m.mask
 	for {
 		e := &m.entries[i]
+		if e.gen != m.gen {
+			return nil
+		}
 		if e.key == v {
 			return &e.lab
-		}
-		if e.key == -1 {
-			return nil
 		}
 		i = (i + 1) & m.mask
 	}
@@ -96,14 +108,15 @@ func (m *Map) Put(v int32) (*Label, bool) {
 	i := hash(v) & m.mask
 	for {
 		e := &m.entries[i]
-		if e.key == v {
-			return &e.lab, true
-		}
-		if e.key == -1 {
+		if e.gen != m.gen {
 			e.key = v
+			e.gen = m.gen
 			e.lab = Label{}
 			m.n++
 			return &e.lab, false
+		}
+		if e.key == v {
+			return &e.lab, true
 		}
 		i = (i + 1) & m.mask
 	}
@@ -111,9 +124,10 @@ func (m *Map) Put(v int32) (*Label, bool) {
 
 func (m *Map) grow() {
 	old := m.entries
+	oldGen := m.gen
 	m.init(len(old) * 2)
 	for i := range old {
-		if old[i].key >= 0 {
+		if old[i].gen == oldGen {
 			slot, _ := m.Put(old[i].key)
 			*slot = old[i].lab
 		}
@@ -124,8 +138,129 @@ func (m *Map) grow() {
 // f must not mutate the map.
 func (m *Map) Range(f func(v int32, l *Label)) {
 	for i := range m.entries {
-		if m.entries[i].key >= 0 {
+		if m.entries[i].gen == m.gen {
 			f(m.entries[i].key, &m.entries[i].lab)
+		}
+	}
+}
+
+type i32Entry struct {
+	key int32
+	gen uint32
+	val int32
+}
+
+// I32Map is an open-addressing hash map int32 -> int32 with linear
+// probing and O(1) generational Reset. The cost-distance solver uses it
+// for vertex-ownership stamps (vertex id -> component id), which a plain
+// Go map would re-allocate on every solver call. The zero value is an
+// empty usable map.
+type I32Map struct {
+	entries []i32Entry
+	n       int
+	mask    uint32
+	gen     uint32
+}
+
+func (m *I32Map) init(size int) {
+	m.entries = make([]i32Entry, size)
+	m.mask = uint32(size - 1)
+	m.gen = 1
+	m.n = 0
+}
+
+// Len returns the number of stored keys.
+func (m *I32Map) Len() int { return m.n }
+
+// Reset removes all entries in O(1), retaining capacity.
+func (m *I32Map) Reset() {
+	if m.entries == nil {
+		m.init(64)
+		return
+	}
+	m.gen++
+	if m.gen == 0 {
+		m.init(len(m.entries))
+	}
+	m.n = 0
+}
+
+// Get returns the value stored for v and whether it is present.
+func (m *I32Map) Get(v int32) (int32, bool) {
+	if m.entries == nil {
+		return 0, false
+	}
+	i := hash(v) & m.mask
+	for {
+		e := &m.entries[i]
+		if e.gen != m.gen {
+			return 0, false
+		}
+		if e.key == v {
+			return e.val, true
+		}
+		i = (i + 1) & m.mask
+	}
+}
+
+// Put stores val for v, overwriting any previous value.
+func (m *I32Map) Put(v, val int32) {
+	if m.entries == nil {
+		m.init(64)
+	} else if m.n*4 >= len(m.entries)*3 {
+		m.grow()
+	}
+	i := hash(v) & m.mask
+	for {
+		e := &m.entries[i]
+		if e.gen != m.gen {
+			e.key = v
+			e.gen = m.gen
+			e.val = val
+			m.n++
+			return
+		}
+		if e.key == v {
+			e.val = val
+			return
+		}
+		i = (i + 1) & m.mask
+	}
+}
+
+// PutIfAbsent stores val for v unless v is already present; it reports
+// whether the value was stored. Single probe walk (this sits on the
+// solver's merge hot path).
+func (m *I32Map) PutIfAbsent(v, val int32) bool {
+	if m.entries == nil {
+		m.init(64)
+	} else if m.n*4 >= len(m.entries)*3 {
+		m.grow()
+	}
+	i := hash(v) & m.mask
+	for {
+		e := &m.entries[i]
+		if e.gen != m.gen {
+			e.key = v
+			e.gen = m.gen
+			e.val = val
+			m.n++
+			return true
+		}
+		if e.key == v {
+			return false
+		}
+		i = (i + 1) & m.mask
+	}
+}
+
+func (m *I32Map) grow() {
+	old := m.entries
+	oldGen := m.gen
+	m.init(len(old) * 2)
+	for i := range old {
+		if old[i].gen == oldGen {
+			m.Put(old[i].key, old[i].val)
 		}
 	}
 }

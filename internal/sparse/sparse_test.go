@@ -118,6 +118,134 @@ func TestReset(t *testing.T) {
 	}
 }
 
+func TestGrowAfterResetDropsStale(t *testing.T) {
+	// A grow triggered after Reset must not resurrect entries from an
+	// earlier generation.
+	m := NewMap(2)
+	for i := int32(0); i < 100; i++ {
+		l, _ := m.Put(i)
+		l.Dist = -1
+	}
+	m.Reset()
+	for i := int32(0); i < 5000; i++ { // forces several grows
+		l, _ := m.Put(i * 2)
+		l.Dist = float64(i)
+	}
+	if m.Len() != 5000 {
+		t.Fatalf("Len = %d want 5000", m.Len())
+	}
+	for i := int32(0); i < 100; i++ {
+		if l := m.Get(2*i + 1); l != nil {
+			t.Fatalf("stale odd key %d resurrected: %+v", 2*i+1, l)
+		}
+	}
+	for i := int32(0); i < 5000; i++ {
+		l := m.Get(i * 2)
+		if l == nil || l.Dist != float64(i) {
+			t.Fatalf("key %d wrong after grow-after-reset: %+v", i*2, l)
+		}
+	}
+}
+
+func TestResetReuseMatchesBuiltin(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 7))
+	m := NewMap(4)
+	for round := 0; round < 40; round++ {
+		m.Reset()
+		ref := map[int32]float64{}
+		for it := 0; it < 500; it++ {
+			k := int32(rng.IntN(300))
+			l, _ := m.Put(k)
+			l.Dist = float64(round*1000 + it)
+			ref[k] = l.Dist
+		}
+		if m.Len() != len(ref) {
+			t.Fatalf("round %d: Len %d vs ref %d", round, m.Len(), len(ref))
+		}
+		for k, want := range ref {
+			if l := m.Get(k); l == nil || l.Dist != want {
+				t.Fatalf("round %d key %d: %+v want %v", round, k, l, want)
+			}
+		}
+	}
+}
+
+func TestI32Map(t *testing.T) {
+	var m I32Map // zero value usable
+	if _, ok := m.Get(3); ok {
+		t.Fatal("zero map should be empty")
+	}
+	if !m.PutIfAbsent(3, 10) {
+		t.Fatal("PutIfAbsent on fresh key should store")
+	}
+	if m.PutIfAbsent(3, 99) {
+		t.Fatal("PutIfAbsent on existing key should not store")
+	}
+	if v, ok := m.Get(3); !ok || v != 10 {
+		t.Fatalf("Get(3) = %v,%v", v, ok)
+	}
+	m.Put(3, 42)
+	if v, _ := m.Get(3); v != 42 {
+		t.Fatalf("overwrite failed: %d", v)
+	}
+	for i := int32(0); i < 10000; i++ {
+		m.Put(i, i*2)
+	}
+	for i := int32(0); i < 10000; i++ {
+		if v, ok := m.Get(i); !ok || v != i*2 {
+			t.Fatalf("key %d lost after growth: %v,%v", i, v, ok)
+		}
+	}
+	m.Reset()
+	if m.Len() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+	for i := int32(0); i < 10000; i++ {
+		if _, ok := m.Get(i); ok {
+			t.Fatalf("key %d survived Reset", i)
+		}
+	}
+	m.Put(7, 7)
+	if v, ok := m.Get(7); !ok || v != 7 {
+		t.Fatal("map unusable after Reset")
+	}
+}
+
+func TestI32MapAgainstBuiltin(t *testing.T) {
+	rng := rand.New(rand.NewPCG(23, 29))
+	var m I32Map
+	ref := map[int32]int32{}
+	for round := 0; round < 20; round++ {
+		m.Reset()
+		clear(ref)
+		for it := 0; it < 2000; it++ {
+			k := int32(rng.IntN(800))
+			switch rng.IntN(3) {
+			case 0:
+				m.Put(k, int32(it))
+				ref[k] = int32(it)
+			case 1:
+				stored := m.PutIfAbsent(k, int32(it))
+				if _, ok := ref[k]; ok == stored {
+					t.Fatalf("PutIfAbsent(%d) stored=%v but present=%v", k, stored, ok)
+				}
+				if stored {
+					ref[k] = int32(it)
+				}
+			default:
+				v, ok := m.Get(k)
+				want, wok := ref[k]
+				if ok != wok || (ok && v != want) {
+					t.Fatalf("Get(%d) = %v,%v want %v,%v", k, v, ok, want, wok)
+				}
+			}
+		}
+		if m.Len() != len(ref) {
+			t.Fatalf("round %d: Len %d vs ref %d", round, m.Len(), len(ref))
+		}
+	}
+}
+
 func BenchmarkPut(b *testing.B) {
 	m := NewMap(1 << 16)
 	b.ResetTimer()
