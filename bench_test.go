@@ -298,3 +298,26 @@ func BenchmarkRouteChipCD(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkRouteChipCDIncremental is BenchmarkRouteChipCD with the
+// dirty-net scheduler enabled: after wave 0 only invalidated nets are
+// re-solved. Compare against BenchmarkRouteChipCD for the wave-level
+// work avoidance; BENCH_incremental.json records the solve counters at
+// acceptance scale (cmd/incbench regenerates it).
+func BenchmarkRouteChipCDIncremental(b *testing.B) {
+	spec := ChipSuite(0.0012)[0]
+	chip, err := GenerateChip(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := router.DefaultOptions()
+	opt.Waves = 2
+	opt.Incremental = true
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RouteChip(chip, CD, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	grroute -chip c3 -method CD -scale 0.01 -waves 4 [-dbif=0] [-workers 16]
+//	grroute -chip c3 -method CD -scale 0.01 -waves 4 [-dbif=0] [-workers 16] [-incremental]
 package main
 
 import (
@@ -25,7 +25,15 @@ func main() {
 	threads := flag.Int("threads", 0, "deprecated alias for -workers")
 	dbif := flag.Float64("dbif", -1, "bifurcation penalty ps (-1: derive from technology, 0: off)")
 	seed := flag.Uint64("seed", 1, "random seed")
+	incremental := flag.Bool("incremental", false, "dirty-net scheduling: re-solve only nets invalidated by price changes after wave 0")
+	incTol := flag.Float64("inctol", 0, "incremental invalidation tolerance (relative; <0 forces every net dirty; unset: router default)")
 	flag.Parse()
+	incTolSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "inctol" {
+			incTolSet = true
+		}
+	})
 
 	specs := costdist.ChipSuite(*scale)
 	var spec *costdist.ChipSpec
@@ -57,6 +65,10 @@ func main() {
 	}
 	opt.DBif = *dbif
 	opt.Seed = *seed
+	opt.Incremental = *incremental
+	if incTolSet {
+		opt.IncrementalTol = *incTol
+	}
 
 	fmt.Printf("chip %s: %d nets, %d layers, clk %.0f ps, dbif %.3f ps\n",
 		spec.Name, spec.NNets, spec.Layers, chip.ClkPeriod, chip.DBif)
@@ -65,8 +77,14 @@ func main() {
 		fatal(err)
 	}
 	mt := res.Metrics
-	fmt.Printf("%-5s %-4s WS %8.0f ps  TNS %11.0f ps  ACE4 %6.2f%%  WL %9.4f m  Vias %9d  %s\n",
-		spec.Name, strings.ToUpper(*method), mt.WS, mt.TNS, mt.ACE4, mt.WLm, mt.Vias, mt.Walltime.Round(1e6))
+	fmt.Printf("%-5s %-4s WS %8.0f ps  TNS %11.0f ps  ACE4 %6.2f%%  WL %9.4f m  Vias %9d  obj %.0f  %s\n",
+		spec.Name, strings.ToUpper(*method), mt.WS, mt.TNS, mt.ACE4, mt.WLm, mt.Vias, mt.Objective, mt.Walltime.Round(1e6))
+	if *incremental {
+		fmt.Printf("incremental: %d solved, %d skipped (%.1f%% cache hits); per wave solved %v skipped %v delta %v\n",
+			mt.NetsSolved, mt.NetsSkipped,
+			100*float64(mt.NetsSkipped)/float64(mt.NetsSolved+mt.NetsSkipped),
+			mt.SolvedPerWave, mt.SkippedPerWave, mt.DeltaSegsPerWave)
+	}
 }
 
 func fatal(err error) {

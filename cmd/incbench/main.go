@@ -1,0 +1,150 @@
+// Command incbench measures the incremental routing engine against the
+// full re-solve engine on one chip of the Table III suite and writes the
+// comparison as JSON — the generator of BENCH_incremental.json. The
+// headline numbers are the oracle-solve reduction after wave 0 and the
+// final-objective delta between the two engines.
+//
+// Usage:
+//
+//	incbench -chip c1 -scale 0.25 [-waves 4] [-workers 0] [-out BENCH_incremental.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"costdist"
+)
+
+type runJSON struct {
+	Incremental      bool    `json:"incremental"`
+	WS               float64 `json:"ws_ps"`
+	TNS              float64 `json:"tns_ps"`
+	ACE4             float64 `json:"ace4_pct"`
+	WLm              float64 `json:"wirelength_m"`
+	Vias             int64   `json:"vias"`
+	Overflow         float64 `json:"overflow"`
+	Objective        float64 `json:"objective"`
+	NetsSolved       int64   `json:"nets_solved"`
+	NetsSkipped      int64   `json:"nets_skipped"`
+	SolvedPerWave    []int   `json:"solved_per_wave"`
+	SkippedPerWave   []int   `json:"skipped_per_wave"`
+	DeltaSegsPerWave []int   `json:"delta_segs_per_wave"`
+	WalltimeMS       int64   `json:"walltime_ms"`
+}
+
+type reportJSON struct {
+	Date            string  `json:"date"`
+	Go              string  `json:"go"`
+	CPUs            int     `json:"cpus"`
+	Chip            string  `json:"chip"`
+	Scale           float64 `json:"scale"`
+	Nets            int     `json:"nets"`
+	Waves           int     `json:"waves"`
+	IncrementalTol  float64 `json:"incremental_tol"`
+	Full            runJSON `json:"full"`
+	Incremental     runJSON `json:"incremental"`
+	SolveReduction  float64 `json:"solve_reduction_after_wave0_pct"`
+	ObjectiveDelta  float64 `json:"objective_delta_pct"`
+	WalltimeSpeedup float64 `json:"walltime_speedup"`
+}
+
+func toRun(m costdist.RouteMetrics, incremental bool) runJSON {
+	return runJSON{
+		Incremental: incremental,
+		WS:          m.WS, TNS: m.TNS, ACE4: m.ACE4, WLm: m.WLm,
+		Vias: m.Vias, Overflow: m.Overflow, Objective: m.Objective,
+		NetsSolved: m.NetsSolved, NetsSkipped: m.NetsSkipped,
+		SolvedPerWave: m.SolvedPerWave, SkippedPerWave: m.SkippedPerWave,
+		DeltaSegsPerWave: m.DeltaSegsPerWave,
+		WalltimeMS:       m.Walltime.Milliseconds(),
+	}
+}
+
+func main() {
+	chipName := flag.String("chip", "c1", "chip name c1..c8")
+	scale := flag.Float64("scale", 0.25, "net count scale vs the paper")
+	waves := flag.Int("waves", 0, "rip-up-and-reroute waves (0 = router default)")
+	workers := flag.Int("workers", 0, "routing workers (0 = all cores)")
+	out := flag.String("out", "BENCH_incremental.json", "output file")
+	flag.Parse()
+
+	specs := costdist.ChipSuite(*scale)
+	var spec *costdist.ChipSpec
+	for i := range specs {
+		if specs[i].Name == *chipName {
+			spec = &specs[i]
+		}
+	}
+	if spec == nil {
+		fatal(fmt.Errorf("unknown chip %q", *chipName))
+	}
+	chip, err := costdist.GenerateChip(*spec)
+	if err != nil {
+		fatal(err)
+	}
+	opt := costdist.DefaultRouterOptions()
+	opt.Threads = *workers
+	if *waves > 0 {
+		opt.Waves = *waves
+	}
+
+	fmt.Fprintf(os.Stderr, "incbench: %s scale %g — %d nets, %d waves\n",
+		spec.Name, *scale, spec.NNets, opt.Waves)
+	full, err := costdist.RouteChip(chip, costdist.CD, opt)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "incbench: full done in %s\n", full.Metrics.Walltime.Round(time.Millisecond))
+	opt.Incremental = true
+	inc, err := costdist.RouteChip(chip, costdist.CD, opt)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "incbench: incremental done in %s\n", inc.Metrics.Walltime.Round(time.Millisecond))
+
+	fullAfter0, incAfter0 := 0, 0
+	for w := 1; w < opt.Waves; w++ {
+		fullAfter0 += full.Metrics.SolvedPerWave[w]
+		incAfter0 += inc.Metrics.SolvedPerWave[w]
+	}
+	solveReduction := 0.0 // a single wave has no post-wave-0 work to save
+	if fullAfter0 > 0 {
+		solveReduction = 100 * (1 - float64(incAfter0)/float64(fullAfter0))
+	}
+	rep := reportJSON{
+		Date:           time.Now().Format("2006-01-02"),
+		Go:             runtime.Version(),
+		CPUs:           runtime.NumCPU(),
+		Chip:           spec.Name,
+		Scale:          *scale,
+		Nets:           len(chip.NL.Nets),
+		Waves:          opt.Waves,
+		IncrementalTol: opt.IncrementalTol,
+		Full:           toRun(full.Metrics, false),
+		Incremental:    toRun(inc.Metrics, true),
+		SolveReduction: solveReduction,
+		ObjectiveDelta: 100 * (inc.Metrics.Objective - full.Metrics.Objective) /
+			full.Metrics.Objective,
+		WalltimeSpeedup: float64(full.Metrics.Walltime) / float64(inc.Metrics.Walltime),
+	}
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("solve reduction after wave 0: %.1f%%  objective delta: %+.2f%%  speedup: %.2fx\n",
+		rep.SolveReduction, rep.ObjectiveDelta, rep.WalltimeSpeedup)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "incbench:", err)
+	os.Exit(1)
+}

@@ -22,7 +22,12 @@
 //   - a batch-solving subsystem for throughput workloads: Solver reuses
 //     a scratch arena so repeated solves stop allocating, and SolveBatch
 //     fans instances across parallel workers with bit-identical results
-//     to a sequential loop (see batch.go).
+//     to a sequential loop (see batch.go);
+//   - an incremental routing engine (RouterOptions.Incremental): after
+//     the first rip-up-and-reroute wave only nets invalidated by
+//     congestion or timing price changes are re-solved, with cache and
+//     delta counters reported in RouteMetrics. The disabled path is
+//     bit-identical to full re-solving.
 //
 // Everything is deterministic given explicit seeds and uses only the
 // standard library.

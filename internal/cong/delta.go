@@ -1,0 +1,99 @@
+package cong
+
+import (
+	"math"
+	"sort"
+
+	"costdist/internal/geom"
+	"costdist/internal/grid"
+)
+
+// DeltaTracker watches the per-segment congestion multipliers between
+// routing waves and reports which plane regions changed, so the
+// incremental router can invalidate only the nets whose routing windows
+// overlap a price change. Cleanliness is judged against a reference
+// snapshot, not against the previous wave: a segment whose multiplier
+// drifts slowly still crosses the tolerance eventually, because the
+// reference only advances when a change is reported.
+type DeltaTracker struct {
+	G *grid.Graph
+	// Tol is the relative tolerance: segment s counts as changed when
+	// |mult[s] − ref[s]| > Tol·ref[s]. Multipliers are clamped to ≥ 1,
+	// so the relative test is always well-defined. Tol = 0 reports any
+	// bitwise change; Tol < 0 reports every segment every wave (which
+	// forces a full re-solve and is how tests pin the no-skip path).
+	Tol float64
+
+	ref     []float32 // multiplier snapshot changes are judged against
+	mark    []bool    // plane gcell scratch bitmap, NX*NY
+	touched []int32   // marked plane cell ids, for O(delta) reset
+}
+
+// NewDeltaTracker returns a tracker whose reference snapshot is the
+// pricer's initial state (all multipliers 1).
+func NewDeltaTracker(g *grid.Graph, tol float64) *DeltaTracker {
+	t := &DeltaTracker{
+		G:    g,
+		Tol:  tol,
+		ref:  make([]float32, g.NumSegs()),
+		mark: make([]bool, int(g.NX)*int(g.NY)),
+	}
+	for i := range t.ref {
+		t.ref[i] = 1
+	}
+	return t
+}
+
+// Update compares mult against the reference snapshot. Segments beyond
+// tolerance advance the reference and mark their gcells (all layers
+// collapse onto one plane bitmap). It returns the changed plane regions
+// as row-merged rectangles plus the number of changed segments — the
+// wave's delta volume.
+func (t *DeltaTracker) Update(mult []float32) (rects []geom.Rect, changedSegs int) {
+	g := t.G
+	for s := range t.ref {
+		d := math.Abs(float64(mult[s]) - float64(t.ref[s]))
+		if d > t.Tol*float64(t.ref[s]) {
+			t.ref[s] = mult[s]
+			changedSegs++
+			r := g.SegRect(int32(s))
+			for y := r.Y0; y <= r.Y1; y++ {
+				for x := r.X0; x <= r.X1; x++ {
+					c := y*g.NX + x
+					if !t.mark[c] {
+						t.mark[c] = true
+						t.touched = append(t.touched, c)
+					}
+				}
+			}
+		}
+	}
+	if len(t.touched) == 0 {
+		return nil, changedSegs
+	}
+	// Merge marked cells into per-row runs. Sorting cell ids orders them
+	// row-major, so runs are consecutive ids within one row.
+	sort.Slice(t.touched, func(a, b int) bool { return t.touched[a] < t.touched[b] })
+	run := geom.Rect{}
+	open := false
+	flush := func() {
+		if open {
+			rects = append(rects, run)
+			open = false
+		}
+	}
+	for _, c := range t.touched {
+		t.mark[c] = false
+		x, y := c%g.NX, c/g.NX
+		if open && y == run.Y0 && x == run.X1+1 {
+			run.X1 = x
+			continue
+		}
+		flush()
+		run = geom.Rect{X0: x, Y0: y, X1: x, Y1: y}
+		open = true
+	}
+	flush()
+	t.touched = t.touched[:0]
+	return rects, changedSegs
+}

@@ -1,0 +1,97 @@
+package cong
+
+import (
+	"testing"
+
+	"costdist/internal/geom"
+	"costdist/internal/grid"
+)
+
+func deltaGraph() *grid.Graph {
+	layers := []grid.Layer{
+		{Name: "M1", Dir: grid.DirH, Wires: []grid.WireType{{CostPerGCell: 1, DelayPerGCell: 1, CapUse: 1}}, SegCap: 4, ViaCap: 8, ViaCost: 1, ViaDelay: 1, ViaCapUse: 1},
+		{Name: "M2", Dir: grid.DirV, Wires: []grid.WireType{{CostPerGCell: 1, DelayPerGCell: 1, CapUse: 1}}, SegCap: 4},
+	}
+	return grid.New(8, 8, layers, 50)
+}
+
+func TestDeltaTrackerQuiescent(t *testing.T) {
+	g := deltaGraph()
+	tr := NewDeltaTracker(g, 0.05)
+	mult := make([]float32, g.NumSegs())
+	for i := range mult {
+		mult[i] = 1
+	}
+	rects, n := tr.Update(mult)
+	if len(rects) != 0 || n != 0 {
+		t.Fatalf("unchanged multipliers reported %d rects, %d segs", len(rects), n)
+	}
+}
+
+func TestDeltaTrackerToleranceAndReference(t *testing.T) {
+	g := deltaGraph()
+	tr := NewDeltaTracker(g, 0.10)
+	mult := make([]float32, g.NumSegs())
+	for i := range mult {
+		mult[i] = 1
+	}
+	s := g.SegH(0, 3, 2) // cells (2,3)-(3,3)
+
+	// Below tolerance: not reported, reference stays.
+	mult[s] = 1.05
+	if rects, n := tr.Update(mult); len(rects) != 0 || n != 0 {
+		t.Fatalf("sub-tolerance change reported: %v, %d", rects, n)
+	}
+	// Drift accumulates against the untouched reference: 1 → 1.05 → 1.12
+	// is below tolerance per step but beyond it in total.
+	mult[s] = 1.12
+	rects, n := tr.Update(mult)
+	if n != 1 {
+		t.Fatalf("accumulated drift not reported: %d segs", n)
+	}
+	want := geom.Rect{X0: 2, Y0: 3, X1: 3, Y1: 3}
+	if len(rects) != 1 || rects[0] != want {
+		t.Fatalf("rects %v, want [%+v]", rects, want)
+	}
+	// Reference advanced to 1.12: the same value is now clean.
+	if rects, n := tr.Update(mult); len(rects) != 0 || n != 0 {
+		t.Fatalf("repeat of reported value changed again: %v, %d", rects, n)
+	}
+}
+
+func TestDeltaTrackerRunMerging(t *testing.T) {
+	g := deltaGraph()
+	tr := NewDeltaTracker(g, 0)
+	mult := make([]float32, g.NumSegs())
+	for i := range mult {
+		mult[i] = 1
+	}
+	// Three consecutive horizontal segments on row 2 touch cells 1..4 —
+	// one run. A via at (6,6) adds an isolated cell.
+	for x := int32(1); x <= 3; x++ {
+		mult[g.SegH(0, 2, x)] = 2
+	}
+	mult[g.ViaSeg(0, 6, 6)] = 3
+	rects, n := tr.Update(mult)
+	if n != 4 {
+		t.Fatalf("changed segs %d, want 4", n)
+	}
+	wantRun := geom.Rect{X0: 1, Y0: 2, X1: 4, Y1: 2}
+	wantVia := geom.Rect{X0: 6, Y0: 6, X1: 6, Y1: 6}
+	if len(rects) != 2 || rects[0] != wantRun || rects[1] != wantVia {
+		t.Fatalf("rects %v, want [%+v %+v]", rects, wantRun, wantVia)
+	}
+}
+
+func TestDeltaTrackerNegativeToleranceForcesAll(t *testing.T) {
+	g := deltaGraph()
+	tr := NewDeltaTracker(g, -1)
+	mult := make([]float32, g.NumSegs())
+	for i := range mult {
+		mult[i] = 1 // identical to the reference
+	}
+	_, n := tr.Update(mult)
+	if n != int(g.NumSegs()) {
+		t.Fatalf("negative tolerance changed %d of %d segs", n, g.NumSegs())
+	}
+}

@@ -131,6 +131,11 @@ func (r Rect) H() int32 {
 // Area returns the number of gcells covered by r.
 func (r Rect) Area() int64 { return int64(r.W()) * int64(r.H()) }
 
+// Intersects reports whether r and s share at least one gcell.
+func (r Rect) Intersects(s Rect) bool {
+	return r.X0 <= s.X1 && s.X0 <= r.X1 && r.Y0 <= s.Y1 && s.Y0 <= r.Y1
+}
+
 // HalfPerimeter returns the half-perimeter wirelength (HPWL) of r, the
 // classic lower bound for the length of any tree connecting points
 // spanning r.

@@ -173,3 +173,32 @@ func TestHananContainsInputs(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestRectIntersects(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 11))
+	randRect := func() Rect {
+		x, y := rng.Int32N(20), rng.Int32N(20)
+		return Rect{X0: x, Y0: y, X1: x + rng.Int32N(6), Y1: y + rng.Int32N(6)}
+	}
+	for iter := 0; iter < 2000; iter++ {
+		a, b := randRect(), randRect()
+		brute := false
+		for x := a.X0; x <= a.X1 && !brute; x++ {
+			for y := a.Y0; y <= a.Y1; y++ {
+				if b.Contains(Pt{x, y}) {
+					brute = true
+					break
+				}
+			}
+		}
+		if got := a.Intersects(b); got != brute {
+			t.Fatalf("Intersects(%+v, %+v) = %v, brute force %v", a, b, got, brute)
+		}
+		if a.Intersects(b) != b.Intersects(a) {
+			t.Fatalf("Intersects not symmetric for %+v, %+v", a, b)
+		}
+	}
+	if (Rect{X0: 0, Y0: 0, X1: 5, Y1: 5}).Intersects(EmptyRect()) {
+		t.Fatal("empty rect must not intersect")
+	}
+}

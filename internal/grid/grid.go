@@ -164,6 +164,26 @@ func (g *Graph) SegLayer(s int32) int32 {
 	}
 }
 
+// SegRect returns the plane rectangle of gcells a segment touches: both
+// endpoint gcells for a routing segment, the single stacked gcell for a
+// via segment. Congestion-delta tracking uses it to translate changed
+// segments into plane regions for net-window invalidation queries.
+func (g *Graph) SegRect(s int32) geom.Rect {
+	if s >= g.viaBase {
+		k := (s - g.viaBase) % (g.NX * g.NY)
+		x, y := k%g.NX, k/g.NX
+		return geom.Rect{X0: x, Y0: y, X1: x, Y1: y}
+	}
+	l := g.SegLayer(s)
+	off := s - g.segOff[l]
+	if g.Layers[l].Dir == DirH {
+		x, y := off%(g.NX-1), off/(g.NX-1)
+		return geom.Rect{X0: x, Y0: y, X1: x + 1, Y1: y}
+	}
+	y, x := off%(g.NY-1), off/(g.NY-1)
+	return geom.Rect{X0: x, Y0: y, X1: x, Y1: y + 1}
+}
+
 // SegH returns the segment id between (x,y,l) and (x+1,y,l) on a
 // horizontal layer.
 func (g *Graph) SegH(l, y, x int32) int32 { return g.segOff[l] + y*(g.NX-1) + x }

@@ -278,3 +278,44 @@ func BenchmarkArcsIteration(b *testing.B) {
 	}
 	_ = sink
 }
+
+func TestSegRect(t *testing.T) {
+	g := testGraph(7, 5, 4)
+	// Every routing segment's rect must cover exactly the two endpoint
+	// gcells; every via segment's rect its single gcell. Enumerate all
+	// segment constructors and invert through SegRect.
+	for l := int32(0); l < 4; l++ {
+		if g.Layers[l].Dir == DirH {
+			for y := int32(0); y < g.NY; y++ {
+				for x := int32(0); x < g.NX-1; x++ {
+					r := g.SegRect(g.SegH(l, y, x))
+					want := geom.Rect{X0: x, Y0: y, X1: x + 1, Y1: y}
+					if r != want {
+						t.Fatalf("SegH(%d,%d,%d) rect %+v want %+v", l, y, x, r, want)
+					}
+				}
+			}
+		} else {
+			for x := int32(0); x < g.NX; x++ {
+				for y := int32(0); y < g.NY-1; y++ {
+					r := g.SegRect(g.SegV(l, x, y))
+					want := geom.Rect{X0: x, Y0: y, X1: x, Y1: y + 1}
+					if r != want {
+						t.Fatalf("SegV(%d,%d,%d) rect %+v want %+v", l, x, y, r, want)
+					}
+				}
+			}
+		}
+		if l+1 < 4 {
+			for y := int32(0); y < g.NY; y++ {
+				for x := int32(0); x < g.NX; x++ {
+					r := g.SegRect(g.ViaSeg(l, x, y))
+					want := geom.Rect{X0: x, Y0: y, X1: x, Y1: y}
+					if r != want {
+						t.Fatalf("ViaSeg(%d,%d,%d) rect %+v want %+v", l, x, y, r, want)
+					}
+				}
+			}
+		}
+	}
+}

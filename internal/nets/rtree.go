@@ -3,6 +3,7 @@ package nets
 import (
 	"fmt"
 
+	"costdist/internal/geom"
 	"costdist/internal/grid"
 )
 
@@ -18,6 +19,17 @@ type Step struct {
 // containing the root and all sinks of its instance.
 type RTree struct {
 	Steps []Step
+}
+
+// BBox returns the plane bounding rectangle of the tree's vertices. An
+// empty tree yields the empty rect.
+func (tr *RTree) BBox(g *grid.Graph) geom.Rect {
+	r := geom.EmptyRect()
+	for _, st := range tr.Steps {
+		r = r.Add(g.Pt(st.From))
+		r = r.Add(g.Pt(st.Arc.To))
+	}
+	return r
 }
 
 // Eval is the decomposition of objective (1)+(3) for an embedded tree.

@@ -1,0 +1,73 @@
+package nets
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"costdist/internal/geom"
+)
+
+func randRects(rng *rand.Rand, n int, span int32) []geom.Rect {
+	out := make([]geom.Rect, n)
+	for i := range out {
+		x, y := rng.Int32N(span), rng.Int32N(span)
+		out[i] = geom.Rect{X0: x, Y0: y, X1: x + rng.Int32N(8), Y1: y + rng.Int32N(8)}
+	}
+	return out
+}
+
+func TestWindowIndexMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 9))
+	for _, n := range []int{0, 1, 7, 8, 9, 63, 64, 65, 500} {
+		rects := randRects(rng, n, 100)
+		ix := BuildWindowIndex(rects)
+		if ix.Len() != n {
+			t.Fatalf("n=%d: Len %d", n, ix.Len())
+		}
+		for q := 0; q < 50; q++ {
+			x, y := rng.Int32N(110)-5, rng.Int32N(110)-5
+			query := geom.Rect{X0: x, Y0: y, X1: x + rng.Int32N(20), Y1: y + rng.Int32N(20)}
+			got := map[int32]int{}
+			ix.Query(query, func(id int32) { got[id]++ })
+			for id, cnt := range got {
+				if cnt != 1 {
+					t.Fatalf("n=%d: id %d visited %d times", n, id, cnt)
+				}
+			}
+			for i, r := range rects {
+				want := r.Intersects(query)
+				if _, ok := got[int32(i)]; ok != want {
+					t.Fatalf("n=%d query %+v rect %d %+v: got %v want %v", n, query, i, r, ok, want)
+				}
+			}
+		}
+	}
+}
+
+func TestWindowIndexEmptyRects(t *testing.T) {
+	rects := []geom.Rect{geom.EmptyRect(), {X0: 2, Y0: 2, X1: 4, Y1: 4}, geom.EmptyRect()}
+	ix := BuildWindowIndex(rects)
+	var got []int32
+	ix.Query(geom.Rect{X0: 0, Y0: 0, X1: 10, Y1: 10}, func(id int32) { got = append(got, id) })
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("empty rects leaked into query results: %v", got)
+	}
+	ix.Query(geom.EmptyRect(), func(id int32) { t.Fatal("empty query must match nothing") })
+}
+
+func TestWindowIndexDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 5))
+	rects := randRects(rng, 300, 60)
+	q := geom.Rect{X0: 10, Y0: 10, X1: 30, Y1: 30}
+	var a, b []int32
+	BuildWindowIndex(rects).Query(q, func(id int32) { a = append(a, id) })
+	BuildWindowIndex(rects).Query(q, func(id int32) { b = append(b, id) })
+	if len(a) != len(b) {
+		t.Fatalf("visit counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("visit order differs at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}

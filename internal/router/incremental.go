@@ -1,0 +1,173 @@
+package router
+
+import (
+	"math"
+
+	"costdist/internal/chipgen"
+	"costdist/internal/cong"
+	"costdist/internal/geom"
+	"costdist/internal/grid"
+	"costdist/internal/nets"
+)
+
+// incHalo is the halo, in gcells, added around a cached tree's bounding
+// box to form the net's candidate region. Price changes inside the
+// region make the net a rip-up candidate; changes further away cannot
+// move the cached tree's own cost and leave it in place.
+const incHalo = 1
+
+// incState is the dirty-net scheduler of the incremental routing engine.
+// Across waves it keeps, per net, the inputs its cached tree was solved
+// under — delay weights, budgets and the tree's priced congestion cost —
+// plus the plane region the tree occupies, and chip-wide a reference
+// snapshot of the congestion multipliers (cong.DeltaTracker).
+//
+// Invalidation runs in two stages each wave:
+//
+//  1. Pre-filter: the per-net regions are packed into an R-tree
+//     (nets.WindowIndex) and queried with the changed congestion
+//     rectangles from the delta tracker. Only nets whose region
+//     overlaps a change become candidates.
+//  2. Decision: a candidate is dirty when the priced congestion cost of
+//     its cached tree under the current multipliers drifted beyond
+//     IncrementalTol relative to the cost it was solved at. A price
+//     spike next to — but not on — the tree leaves it clean.
+//
+// Independent of congestion, a net is dirty when one of its sink delay
+// weights (or, for the shallow-light oracle, delay budgets) drifted
+// beyond tolerance since its last solve, or when it has never been
+// solved. Clean nets keep their cached tree and cached sink delays;
+// only their usage is replayed into the wave's congestion accounting.
+//
+// The rule is deliberately one-sided: a price drop away from the tree
+// could in principle open a cheaper route that stays undiscovered until
+// some change touches the tree itself. That is the approximation the
+// tolerance knob trades against re-solve volume; the pricer keeps
+// raising genuinely overloaded segments until every net crossing them
+// goes dirty, so congestion violations cannot hide behind the cache.
+type incState struct {
+	g       *grid.Graph
+	tol     float64
+	method  Method
+	tracker *cong.DeltaTracker
+	// regions[ni] is the candidate region of net ni: cached tree bbox
+	// (initially the terminal bbox) plus halo.
+	regions []geom.Rect
+	// lastW/lastB are copies of the weights/budgets each net was last
+	// solved under; nil marks "never solved". lastCost is the priced
+	// congestion cost of the cached tree at solve time.
+	lastW, lastB [][]float64
+	lastCost     []float64
+	cand, dirty  []bool
+}
+
+// newIncState builds the scheduler for one chip.
+func newIncState(chip *chipgen.Chip, m Method, opt Options) *incState {
+	nl := chip.NL
+	regions := make([]geom.Rect, len(nl.Nets))
+	for ni, n := range nl.Nets {
+		r := geom.EmptyRect()
+		r = r.Add(nl.Cells[n.Driver].Pos)
+		for _, s := range n.Sinks {
+			r = r.Add(nl.Cells[s].Pos)
+		}
+		regions[ni] = r.Expand(incHalo, chip.G.NX, chip.G.NY)
+	}
+	return &incState{
+		g:        chip.G,
+		tol:      opt.IncrementalTol,
+		method:   m,
+		tracker:  cong.NewDeltaTracker(chip.G, opt.IncrementalTol),
+		regions:  regions,
+		lastW:    make([][]float64, len(nl.Nets)),
+		lastB:    make([][]float64, len(nl.Nets)),
+		lastCost: make([]float64, len(nl.Nets)),
+		cand:     make([]bool, len(nl.Nets)),
+		dirty:    make([]bool, len(nl.Nets)),
+	}
+}
+
+// drifted reports whether cur moved beyond the relative tolerance from
+// the snapshot value. A negative tolerance reports every pair as
+// drifted, including identical ones (the forced full re-solve mode).
+func (s *incState) drifted(cur, snap float64) bool {
+	return math.Abs(cur-snap) > s.tol*math.Abs(snap)
+}
+
+// computeDirty returns the ordered work list of dirty nets for the next
+// wave and the number of congestion segments that changed beyond
+// tolerance (the wave's delta volume). Rebuilding the region index every
+// wave is O(n log n) — noise next to a single oracle solve.
+func (s *incState) computeDirty(costs *grid.Costs, trees []*nets.RTree, weights, budgets [][]float64) (work []int32, deltaSegs int) {
+	for i := range s.dirty {
+		s.cand[i] = false
+		s.dirty[i] = false
+	}
+	rects, deltaSegs := s.tracker.Update(costs.Mult)
+	if len(rects) > 0 {
+		ix := nets.BuildWindowIndex(s.regions)
+		for _, r := range rects {
+			ix.Query(r, func(ni int32) { s.cand[ni] = true })
+		}
+	}
+	for ni := range s.dirty {
+		lw := s.lastW[ni]
+		if lw == nil || trees[ni] == nil {
+			s.dirty[ni] = true
+			continue
+		}
+		if s.cand[ni] {
+			// Reprice the cached tree under the current multipliers.
+			cur := 0.0
+			for _, st := range trees[ni].Steps {
+				cur += costs.ArcCost(st.Arc)
+			}
+			if s.drifted(cur, s.lastCost[ni]) {
+				s.dirty[ni] = true
+				continue
+			}
+		}
+		for k, w := range weights[ni] {
+			if s.drifted(w, lw[k]) {
+				s.dirty[ni] = true
+				break
+			}
+		}
+		if s.dirty[ni] || s.method != SL {
+			continue
+		}
+		// Budgets only steer the shallow-light topology; other oracles
+		// ignore them, so budget drift alone must not rip their nets.
+		lb := s.lastB[ni]
+		if lb == nil || len(lb) != len(budgets[ni]) {
+			s.dirty[ni] = true
+			continue
+		}
+		for k, b := range budgets[ni] {
+			if s.drifted(b, lb[k]) {
+				s.dirty[ni] = true
+				break
+			}
+		}
+	}
+	for ni, d := range s.dirty {
+		if d {
+			work = append(work, int32(ni))
+		}
+	}
+	return work, deltaSegs
+}
+
+// noteSolved snapshots the inputs net ni was just solved under — timing
+// values, the tree's priced congestion cost and its plane region.
+// Worker goroutines call it for disjoint nets, so no locking is needed.
+func (s *incState) noteSolved(ni int, w, b []float64, tr *nets.RTree, congCost float64) {
+	s.lastW[ni] = append(s.lastW[ni][:0], w...)
+	if b != nil {
+		s.lastB[ni] = append(s.lastB[ni][:0], b...)
+	}
+	s.lastCost[ni] = congCost
+	if r := tr.BBox(s.g); !r.Empty() {
+		s.regions[ni] = r.Expand(incHalo, s.g.NX, s.g.NY)
+	}
+}

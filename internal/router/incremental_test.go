@@ -1,0 +1,136 @@
+package router
+
+import (
+	"math"
+	"slices"
+	"testing"
+)
+
+// metricsEqual compares every deterministic field of two Metrics
+// (Walltime is wall-clock and excluded).
+func metricsEqual(a, b Metrics) bool {
+	return a.WS == b.WS && a.TNS == b.TNS && a.ACE4 == b.ACE4 &&
+		a.WLm == b.WLm && a.Vias == b.Vias && a.Overflow == b.Overflow &&
+		a.Objective == b.Objective &&
+		a.NetsSolved == b.NetsSolved && a.NetsSkipped == b.NetsSkipped &&
+		slices.Equal(a.SolvedPerWave, b.SolvedPerWave) &&
+		slices.Equal(a.SkippedPerWave, b.SkippedPerWave) &&
+		slices.Equal(a.DeltaSegsPerWave, b.DeltaSegsPerWave)
+}
+
+// With a negative tolerance every net is forced dirty every wave — no
+// cache hit ever happens — and the incremental engine must reproduce
+// the non-incremental run bit for bit.
+func TestIncrementalNoSkipBitIdentical(t *testing.T) {
+	chip := tinyChip(t, 0, 0.002)
+	opt := DefaultOptions()
+	opt.Waves = 3
+	opt.Threads = 2
+	full, err := Route(chip, CD, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Incremental = true
+	opt.IncrementalTol = -1
+	forced, err := Route(chip, CD, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if forced.Metrics.NetsSkipped != 0 {
+		t.Fatalf("forced mode skipped %d nets", forced.Metrics.NetsSkipped)
+	}
+	f, g := full.Metrics, forced.Metrics
+	if f.WS != g.WS || f.TNS != g.TNS || f.ACE4 != g.ACE4 || f.WLm != g.WLm ||
+		f.Vias != g.Vias || f.Overflow != g.Overflow || f.Objective != g.Objective {
+		t.Fatalf("no-skip incremental diverged:\nfull   %+v\nforced %+v", f, g)
+	}
+	if f.NetsSolved != g.NetsSolved {
+		t.Fatalf("solve counts differ: %d vs %d", f.NetsSolved, g.NetsSolved)
+	}
+}
+
+// At the default tolerance the scheduler must actually skip work after
+// wave 0 and still land within the documented band of the full run.
+func TestIncrementalSkipsAndStaysClose(t *testing.T) {
+	chip := tinyChip(t, 0, 0.004)
+	opt := DefaultOptions()
+	opt.Threads = 2
+	full, err := Route(chip, CD, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Incremental = true
+	inc, err := Route(chip, CD, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := inc.Metrics
+	if m.NetsSkipped == 0 {
+		t.Fatalf("incremental run skipped nothing: %+v", m)
+	}
+	if m.SolvedPerWave[0] != len(chip.NL.Nets) || m.SkippedPerWave[0] != 0 {
+		t.Fatalf("wave 0 must solve everything: solved %v skipped %v", m.SolvedPerWave, m.SkippedPerWave)
+	}
+	for w, s := range m.SolvedPerWave {
+		if s+m.SkippedPerWave[w] != len(chip.NL.Nets) {
+			t.Fatalf("wave %d: solved %d + skipped %d != %d nets", w, s, m.SkippedPerWave[w], len(chip.NL.Nets))
+		}
+	}
+	if m.NetsSolved+m.NetsSkipped != int64(opt.Waves*len(chip.NL.Nets)) {
+		t.Fatalf("counter totals inconsistent: %+v", m)
+	}
+	// The incremental run may be better (it converges more smoothly) but
+	// must not be worse than the documented 1% band on the objective.
+	if m.Objective > full.Metrics.Objective*1.01 {
+		t.Fatalf("objective degraded beyond 1%%: inc %v full %v", m.Objective, full.Metrics.Objective)
+	}
+	if math.Abs(m.WLm-full.Metrics.WLm) > 0.02*full.Metrics.WLm {
+		t.Fatalf("wirelength drifted: inc %v full %v", m.WLm, full.Metrics.WLm)
+	}
+}
+
+// The dirty-net schedule, like the rest of the router, must not depend
+// on the worker count.
+func TestIncrementalDeterministicAcrossThreadCounts(t *testing.T) {
+	chip := tinyChip(t, 1, 0.0015)
+	opt := DefaultOptions()
+	opt.Waves = 3
+	opt.Incremental = true
+	var ref *Result
+	for _, threads := range []int{1, 2, 8} {
+		opt.Threads = threads
+		r, err := Route(chip, CD, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = r
+			continue
+		}
+		if !metricsEqual(ref.Metrics, r.Metrics) {
+			t.Fatalf("threads=%d changed results:\nref %+v\ngot %+v", threads, ref.Metrics, r.Metrics)
+		}
+	}
+}
+
+// The work-avoidance counters are reported in non-incremental runs too:
+// every net solved, nothing skipped, no deltas tracked.
+func TestFullModeCounters(t *testing.T) {
+	chip := tinyChip(t, 0, 0.002)
+	opt := DefaultOptions()
+	opt.Waves = 2
+	opt.Threads = 2
+	r, err := Route(chip, CD, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(chip.NL.Nets)
+	m := r.Metrics
+	if m.NetsSolved != int64(2*n) || m.NetsSkipped != 0 {
+		t.Fatalf("full-mode counters: %+v", m)
+	}
+	if !slices.Equal(m.SolvedPerWave, []int{n, n}) || !slices.Equal(m.SkippedPerWave, []int{0, 0}) ||
+		!slices.Equal(m.DeltaSegsPerWave, []int{0, 0}) {
+		t.Fatalf("full-mode per-wave counters: %+v", m)
+	}
+}

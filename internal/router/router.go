@@ -89,8 +89,23 @@ type Options struct {
 	SLEps   float64
 
 	// CaptureWave, when ≥ 0, snapshots every routed net of that wave as
-	// a standalone cost-distance instance (for Tables I and II).
+	// a standalone cost-distance instance (for Tables I and II). In
+	// incremental mode only the nets actually re-solved in that wave are
+	// captured.
 	CaptureWave int
+
+	// Incremental enables the dirty-net scheduler: after wave 0 only
+	// nets invalidated by congestion or timing price changes are ripped
+	// up and re-solved; clean nets keep their cached tree. Off by
+	// default; the disabled path is bit-identical to a full re-solve of
+	// every net in every wave.
+	Incremental bool
+	// IncrementalTol is the relative tolerance of the invalidation rule:
+	// a congestion multiplier or sink timing value counts as changed
+	// when it moved by more than IncrementalTol relative to the snapshot
+	// the net was last solved under. 0 invalidates on any change; a
+	// negative value forces every net dirty every wave (no skips).
+	IncrementalTol float64
 }
 
 // DefaultOptions returns a configuration mirroring the paper's setup.
@@ -110,10 +125,13 @@ func DefaultOptions() Options {
 		PDAlpha:     0.3,
 		SLEps:       0.25,
 		CaptureWave: -1,
+
+		IncrementalTol: 0.05,
 	}
 }
 
-// Metrics are the per-run columns of Tables IV and V.
+// Metrics are the per-run columns of Tables IV and V, plus the
+// work-avoidance counters of the incremental engine.
 type Metrics struct {
 	WS       float64 // worst slack, ps
 	TNS      float64 // total negative slack, ps
@@ -122,6 +140,27 @@ type Metrics struct {
 	Vias     int64
 	Overflow float64
 	Walltime time.Duration
+
+	// Objective is the summed paper objective (1) of the final trees —
+	// congestion cost under the final multipliers plus weighted sink
+	// delay under the final weights. It is the scalar the incremental
+	// and full engines are compared on.
+	Objective float64
+
+	// NetsSolved counts oracle solves summed over all waves; NetsSkipped
+	// counts cache hits — nets that kept their cached tree because the
+	// dirty-net scheduler found no relevant price change. With
+	// Incremental off every net is solved every wave and NetsSkipped is
+	// zero.
+	NetsSolved  int64
+	NetsSkipped int64
+	// SolvedPerWave and SkippedPerWave split the counters by wave;
+	// DeltaSegsPerWave is the wave's delta volume — congestion segments
+	// whose multiplier moved beyond tolerance (always zero with
+	// Incremental off, where deltas are not tracked).
+	SolvedPerWave    []int
+	SkippedPerWave   []int
+	DeltaSegsPerWave []int
 }
 
 // Result is the outcome of a routing run.
@@ -223,10 +262,31 @@ func routeWith(chip *chipgen.Chip, m Method, opt Options, pool *scratchPool) (*R
 		}
 	}
 
+	// The full work list; incremental waves replace it with the dirty
+	// subset.
+	allNets := make([]int32, nNets)
+	for i := range allNets {
+		allNets[i] = int32(i)
+	}
+	var inc *incState
+	if opt.Incremental {
+		inc = newIncState(chip, m, opt)
+	}
+
 	var usage *cong.Usage
 	for wave := 0; wave < opt.Waves; wave++ {
 		costs := pricer.Costs()
 		capture := wave == opt.CaptureWave
+
+		work := allNets
+		deltaSegs := 0
+		if inc != nil {
+			// Dirty-net scheduling: invalidate nets whose cached tree got
+			// repriced or whose timing inputs drifted. Wave 0 marks every
+			// net dirty (nothing has been solved yet).
+			work, deltaSegs = inc.computeDirty(costs, trees, weights, budgets)
+		}
+		nWork := len(work)
 
 		workerUsage := make([]*cong.Usage, threads)
 		workerErr := make([]error, threads)
@@ -234,7 +294,9 @@ func routeWith(chip *chipgen.Chip, m Method, opt Options, pool *scratchPool) (*R
 		var next atomic.Int64
 		var wg sync.WaitGroup
 		for w := 0; w < threads; w++ {
-			workerUsage[w] = cong.NewUsage(g)
+			if inc == nil {
+				workerUsage[w] = cong.NewUsage(g)
+			}
 			wg.Add(1)
 			go func(worker int) {
 				defer wg.Done()
@@ -246,10 +308,11 @@ func routeWith(chip *chipgen.Chip, m Method, opt Options, pool *scratchPool) (*R
 				wopt := opt
 				wopt.CoreOpt.Scratch = pool.scr[worker]
 				for {
-					ni := int(next.Add(1)) - 1
-					if ni >= nNets {
+					idx := int(next.Add(1)) - 1
+					if idx >= nWork {
 						return
 					}
+					ni := int(work[idx])
 					in := buildInstance(chip, ni, weights[ni], costs, dbif, opt)
 					in.Budgets = budgets[ni]
 					tr, err := routeNet(in, m, wopt, lbif)
@@ -268,8 +331,15 @@ func routeWith(chip *chipgen.Chip, m Method, opt Options, pool *scratchPool) (*R
 					}
 					trees[ni] = tr
 					copy(delays[ni], ev.SinkDelay)
-					for _, st := range tr.Steps {
-						workerUsage[worker].AddArc(st.Arc)
+					if inc == nil {
+						for _, st := range tr.Steps {
+							workerUsage[worker].AddArc(st.Arc)
+						}
+					} else {
+						// Snapshot the inputs this solve consumed and the new
+						// tree's cost and region; workers touch disjoint
+						// nets, so this is race-free.
+						inc.noteSolved(ni, weights[ni], budgets[ni], tr, ev.CongCost)
 					}
 					if capture && len(in.Sinks) >= 1 {
 						captured[worker] = append(captured[worker], snapshot(in))
@@ -283,10 +353,31 @@ func routeWith(chip *chipgen.Chip, m Method, opt Options, pool *scratchPool) (*R
 				return nil, err
 			}
 		}
-		usage = cong.NewUsage(g)
-		for _, wu := range workerUsage {
-			usage.AddFrom(wu)
+		if inc == nil {
+			usage = cong.NewUsage(g)
+			for _, wu := range workerUsage {
+				usage.AddFrom(wu)
+			}
+		} else {
+			// Skipped nets keep their cached tree but still occupy their
+			// tracks: rebuild usage from every tree, cached or fresh, in
+			// net order — deterministic regardless of worker count or of
+			// which nets were skipped.
+			usage = cong.NewUsage(g)
+			for _, tr := range trees {
+				if tr == nil {
+					continue
+				}
+				for _, st := range tr.Steps {
+					usage.AddArc(st.Arc)
+				}
+			}
 		}
+		res.Metrics.NetsSolved += int64(nWork)
+		res.Metrics.NetsSkipped += int64(nNets - nWork)
+		res.Metrics.SolvedPerWave = append(res.Metrics.SolvedPerWave, nWork)
+		res.Metrics.SkippedPerWave = append(res.Metrics.SkippedPerWave, nNets-nWork)
+		res.Metrics.DeltaSegsPerWave = append(res.Metrics.DeltaSegsPerWave, deltaSegs)
 		if capture {
 			for _, cs := range captured {
 				res.Captured = append(res.Captured, cs...)
@@ -335,15 +426,27 @@ func routeWith(chip *chipgen.Chip, m Method, opt Options, pool *scratchPool) (*R
 			}
 		}
 	}
-	res.Metrics = Metrics{
-		WS:       timing.WS,
-		TNS:      timing.TNS,
-		ACE4:     cong.ACE4(usage),
-		WLm:      usage.WirelengthM(),
-		Vias:     vias,
-		Overflow: cong.Overflow(usage),
-		Walltime: time.Since(start),
+	// Score the final trees under the final prices and weights — the
+	// common scalar objective both engines are judged on.
+	finalCosts := pricer.Costs()
+	for ni, tr := range trees {
+		if tr == nil {
+			continue
+		}
+		for _, st := range tr.Steps {
+			res.Metrics.Objective += finalCosts.ArcCost(st.Arc)
+		}
+		for k := range delays[ni] {
+			res.Metrics.Objective += weights[ni][k] * delays[ni][k]
+		}
 	}
+	res.Metrics.WS = timing.WS
+	res.Metrics.TNS = timing.TNS
+	res.Metrics.ACE4 = cong.ACE4(usage)
+	res.Metrics.WLm = usage.WirelengthM()
+	res.Metrics.Vias = vias
+	res.Metrics.Overflow = cong.Overflow(usage)
+	res.Metrics.Walltime = time.Since(start)
 	return res, nil
 }
 

@@ -125,6 +125,13 @@ type TreeJSON struct {
 	WireSteps int           `json:"wire_steps"`
 	Vias      int           `json:"vias"`
 	Edges     [][2][3]int32 `json:"edges"` // pairs of (x,y,l)
+	// WireTypes holds the wire type index of each edge (−1 for vias).
+	// Without it layers with multiple wire types would not round-trip:
+	// an edge's endpoints do not determine which parallel edge was used,
+	// and re-evaluating a reloaded tree on the default (widest-counted)
+	// type skews its cost. Absent in documents written before this field
+	// existed, in which case type 0 is assumed.
+	WireTypes []int8 `json:"wire_types,omitempty"`
 }
 
 // MarshalTree serializes a tree with its evaluation.
@@ -141,6 +148,87 @@ func MarshalTree(in *Instance, tr *Tree) ([]byte, error) {
 		fx, fy, fl := in.G.XYL(st.From)
 		tx, ty, tl := in.G.XYL(st.Arc.To)
 		out.Edges = append(out.Edges, [2][3]int32{{fx, fy, fl}, {tx, ty, tl}})
+		out.WireTypes = append(out.WireTypes, st.Arc.WT)
 	}
 	return json.MarshalIndent(out, "", "  ")
+}
+
+// UnmarshalTree decodes a TreeJSON document back into an embedded tree
+// on the instance's graph — the inverse of MarshalTree. Edges must
+// connect adjacent vertices inside the grid; the reloaded tree evaluates
+// to the same objective decomposition it was saved with.
+func UnmarshalTree(in *Instance, data []byte) (*Tree, error) {
+	var f TreeJSON
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("costdist: parsing tree: %w", err)
+	}
+	if f.WireTypes != nil && len(f.WireTypes) != len(f.Edges) {
+		return nil, fmt.Errorf("costdist: %d wire types for %d edges", len(f.WireTypes), len(f.Edges))
+	}
+	g := in.G
+	tr := &Tree{}
+	for i, e := range f.Edges {
+		u, err := vertexAt(g, e[0])
+		if err != nil {
+			return nil, fmt.Errorf("edge %d: %w", i, err)
+		}
+		v, err := vertexAt(g, e[1])
+		if err != nil {
+			return nil, fmt.Errorf("edge %d: %w", i, err)
+		}
+		dx, dy, dl := e[1][0]-e[0][0], e[1][1]-e[0][1], e[1][2]-e[0][2]
+		if absInt32(dx)+absInt32(dy)+absInt32(dl) != 1 {
+			return nil, fmt.Errorf("costdist: edge %d connects non-adjacent vertices %v and %v", i, e[0], e[1])
+		}
+		if dl == 0 {
+			// A wire edge must follow its layer's preferred direction —
+			// the cross-direction edge does not exist in the graph, and
+			// SegBetween would map it onto an unrelated segment id.
+			dir := g.Layers[e[0][2]].Dir
+			if (dir == grid.DirH && dx == 0) || (dir == grid.DirV && dy == 0) {
+				return nil, fmt.Errorf("costdist: edge %d runs %s on a %v layer", i,
+					map[bool]string{true: "vertically", false: "horizontally"}[dx == 0], dir)
+			}
+		}
+		seg, via := g.SegBetween(u, v)
+		arc := grid.Arc{To: v, Seg: seg, Via: via}
+		if via {
+			arc.L = int8(min32(e[0][2], e[1][2]))
+			arc.WT = -1
+			if f.WireTypes != nil && f.WireTypes[i] != -1 {
+				return nil, fmt.Errorf("costdist: edge %d is a via but has wire type %d", i, f.WireTypes[i])
+			}
+		} else {
+			arc.L = int8(e[0][2])
+			if f.WireTypes != nil {
+				arc.WT = f.WireTypes[i]
+			}
+			if arc.WT < 0 || int(arc.WT) >= len(g.Layers[arc.L].Wires) {
+				return nil, fmt.Errorf("costdist: edge %d wire type %d out of range on layer %d", i, arc.WT, arc.L)
+			}
+		}
+		tr.Steps = append(tr.Steps, Step{From: u, Arc: arc})
+	}
+	return tr, nil
+}
+
+func vertexAt(g *grid.Graph, p [3]int32) (grid.V, error) {
+	if p[0] < 0 || p[0] >= g.NX || p[1] < 0 || p[1] >= g.NY || p[2] < 0 || p[2] >= int32(len(g.Layers)) {
+		return 0, fmt.Errorf("costdist: vertex (%d,%d,%d) outside grid", p[0], p[1], p[2])
+	}
+	return g.At(p[0], p[1], p[2]), nil
+}
+
+func absInt32(v int32) int32 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func min32(a, b int32) int32 {
+	if a < b {
+		return a
+	}
+	return b
 }

@@ -1,0 +1,72 @@
+package costdist
+
+import (
+	"reflect"
+	"testing"
+)
+
+// RouteChip with a fixed seed must produce identical metrics regardless
+// of worker count, with and without the incremental engine; the two
+// engines must agree on the final objective within the documented band.
+func TestRouteChipDeterministicAcrossThreads(t *testing.T) {
+	spec := ChipSuite(0.002)[0]
+	chip, err := GenerateChip(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, incremental := range []bool{false, true} {
+		opt := DefaultRouterOptions()
+		opt.Waves = 3
+		opt.Incremental = incremental
+		var ref RouteMetrics
+		for i, threads := range []int{1, 2, 8} {
+			opt.Threads = threads
+			res, err := RouteChip(chip, CD, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := res.Metrics
+			m.Walltime = 0 // wall-clock, legitimately varies
+			if i == 0 {
+				ref = m
+				continue
+			}
+			if !reflect.DeepEqual(ref, m) {
+				t.Fatalf("incremental=%v threads=%d changed results:\nref %+v\ngot %+v",
+					incremental, threads, ref, m)
+			}
+		}
+	}
+}
+
+// The no-skip incremental mode (negative tolerance forces every net
+// dirty) must agree exactly with the non-incremental engine through the
+// public API.
+func TestRouteChipIncrementalNoSkipExact(t *testing.T) {
+	spec := ChipSuite(0.002)[1]
+	chip, err := GenerateChip(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := DefaultRouterOptions()
+	opt.Waves = 2
+	opt.Threads = 2
+	full, err := RouteChip(chip, CD, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Incremental = true
+	opt.IncrementalTol = -1
+	forced, err := RouteChip(chip, CD, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if forced.Metrics.NetsSkipped != 0 {
+		t.Fatalf("forced mode skipped %d nets", forced.Metrics.NetsSkipped)
+	}
+	f, g := full.Metrics, forced.Metrics
+	if f.WS != g.WS || f.TNS != g.TNS || f.ACE4 != g.ACE4 || f.WLm != g.WLm ||
+		f.Vias != g.Vias || f.Overflow != g.Overflow || f.Objective != g.Objective {
+		t.Fatalf("no-skip incremental diverged:\nfull   %+v\nforced %+v", f, g)
+	}
+}
