@@ -41,8 +41,10 @@ func (s *Solver) SolveCDTraced(in *Instance, opt CDOptions, trace func(TraceEven
 	return core.SolveTraced(in, opt, trace)
 }
 
-// Solve runs any of the four methods through the reusable arena (the
-// arena accelerates the CD oracle; baselines pass through unchanged).
+// Solve runs any oracle driver — the fixed four, Auto or Portfolio —
+// through the reusable arena (the arena accelerates the CD oracle,
+// including its solves inside Auto and Portfolio; baselines pass
+// through unchanged).
 func (s *Solver) Solve(in *Instance, m Method, opt RouterOptions) (*Tree, error) {
 	opt.CoreOpt.Scratch = s.scr
 	return router.SolveNet(in, m, opt)

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	cdsteiner -in instance.json [-method CD|L1|SL|PD] [-out tree.json] [-svg tree.svg]
+//	cdsteiner -in instance.json [-method cd|rsmt|sl|pd|auto|portfolio] [-out tree.json] [-svg tree.svg]
 package main
 
 import (
@@ -19,7 +19,7 @@ import (
 
 func main() {
 	inPath := flag.String("in", "", "instance JSON file (required)")
-	method := flag.String("method", "CD", "algorithm: CD, L1, SL or PD")
+	method := flag.String("method", "CD", "oracle or driver: cd, rsmt (alias l1), sl, pd, auto, portfolio")
 	outPath := flag.String("out", "", "write solved tree JSON here")
 	svgPath := flag.String("svg", "", "write tree SVG here")
 	compare := flag.Bool("compare", false, "run all four algorithms and print a comparison")
@@ -38,13 +38,11 @@ func main() {
 		fatal(err)
 	}
 
-	methods := map[string]costdist.Method{
-		"CD": costdist.CD, "L1": costdist.L1, "SL": costdist.SL, "PD": costdist.PD,
-	}
 	if *compare {
 		fmt.Printf("%-4s %12s %12s %12s %6s %6s\n", "alg", "total", "congestion", "delay", "wires", "vias")
 		for _, name := range []string{"L1", "SL", "PD", "CD"} {
-			tr, err := costdist.Solve(in, methods[name], costdist.DefaultRouterOptions())
+			cm, _ := costdist.MethodByName(name)
+			tr, err := costdist.Solve(in, cm, costdist.DefaultRouterOptions())
 			if err != nil {
 				fatal(fmt.Errorf("%s: %w", name, err))
 			}
@@ -58,9 +56,10 @@ func main() {
 		return
 	}
 
-	m, ok := methods[strings.ToUpper(*method)]
+	m, ok := costdist.MethodByName(*method)
 	if !ok {
-		fatal(fmt.Errorf("unknown method %q", *method))
+		fatal(fmt.Errorf("unknown method %q (available: %s)",
+			*method, strings.Join(costdist.MethodNames(), ", ")))
 	}
 	tr, err := costdist.Solve(in, m, costdist.DefaultRouterOptions())
 	if err != nil {

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	grroute -chip c3 -method CD -scale 0.01 -waves 4 [-dbif=0] [-workers 16] [-incremental]
+//	grroute -chip c3 -oracle cd|rsmt|sl|pd|auto|portfolio -scale 0.01 -waves 4 [-dbif=0] [-workers 16] [-incremental]
 package main
 
 import (
@@ -18,7 +18,8 @@ import (
 
 func main() {
 	chipName := flag.String("chip", "c1", "chip name c1..c8")
-	method := flag.String("method", "CD", "oracle: CD, L1, SL or PD")
+	oracleName := flag.String("oracle", "", "oracle or driver: cd, rsmt (alias l1), sl, pd, auto, portfolio")
+	method := flag.String("method", "CD", "deprecated alias for -oracle")
 	scale := flag.Float64("scale", 0.01, "net count scale vs the paper (1.0 = full)")
 	waves := flag.Int("waves", 4, "rip-up-and-reroute waves")
 	workers := flag.Int("workers", 0, "parallel routing workers, one solver arena each (0 = all cores)")
@@ -45,12 +46,14 @@ func main() {
 	if spec == nil {
 		fatal(fmt.Errorf("unknown chip %q (want c1..c8)", *chipName))
 	}
-	methods := map[string]costdist.Method{
-		"CD": costdist.CD, "L1": costdist.L1, "SL": costdist.SL, "PD": costdist.PD,
+	name := *oracleName
+	if name == "" {
+		name = *method
 	}
-	m, ok := methods[strings.ToUpper(*method)]
+	m, ok := costdist.MethodByName(name)
 	if !ok {
-		fatal(fmt.Errorf("unknown method %q", *method))
+		fatal(fmt.Errorf("unknown oracle %q (available: %s)",
+			name, strings.Join(costdist.MethodNames(), ", ")))
 	}
 
 	chip, err := costdist.GenerateChip(*spec)
@@ -77,8 +80,11 @@ func main() {
 		fatal(err)
 	}
 	mt := res.Metrics
-	fmt.Printf("%-5s %-4s WS %8.0f ps  TNS %11.0f ps  ACE4 %6.2f%%  WL %9.4f m  Vias %9d  obj %.0f  %s\n",
-		spec.Name, strings.ToUpper(*method), mt.WS, mt.TNS, mt.ACE4, mt.WLm, mt.Vias, mt.Objective, mt.Walltime.Round(1e6))
+	fmt.Printf("%-5s %-9s WS %8.0f ps  TNS %11.0f ps  ACE4 %6.2f%%  WL %9.4f m  Vias %9d  obj %.0f  %s\n",
+		spec.Name, m, mt.WS, mt.TNS, mt.ACE4, mt.WLm, mt.Vias, mt.Objective, mt.Walltime.Round(1e6))
+	if m == costdist.Auto || m == costdist.Portfolio {
+		fmt.Printf("oracle solves: %v\n", mt.SolvesByOracle)
+	}
 	if *incremental {
 		fmt.Printf("incremental: %d solved, %d skipped (%.1f%% cache hits); per wave solved %v skipped %v delta %v\n",
 			mt.NetsSolved, mt.NetsSkipped,

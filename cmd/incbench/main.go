@@ -4,9 +4,15 @@
 // headline numbers are the oracle-solve reduction after wave 0 and the
 // final-objective delta between the two engines.
 //
+// With -selection it instead benchmarks the oracle drivers: pure CD
+// against the Auto per-net selector and the Portfolio racer, writing
+// BENCH_selection.json. The headline numbers there are the CD-oracle
+// solve reduction of Auto and the objective deltas of both drivers.
+//
 // Usage:
 //
 //	incbench -chip c1 -scale 0.25 [-waves 4] [-workers 0] [-out BENCH_incremental.json]
+//	incbench -selection -chip c1 -scale 0.25 [-waves 4] [-out BENCH_selection.json]
 package main
 
 import (
@@ -15,6 +21,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
+	"strings"
 	"time"
 
 	"costdist"
@@ -70,8 +78,17 @@ func main() {
 	scale := flag.Float64("scale", 0.25, "net count scale vs the paper")
 	waves := flag.Int("waves", 0, "rip-up-and-reroute waves (0 = router default)")
 	workers := flag.Int("workers", 0, "routing workers (0 = all cores)")
-	out := flag.String("out", "BENCH_incremental.json", "output file")
+	selection := flag.Bool("selection", false, "benchmark oracle drivers (pure CD vs auto vs portfolio) instead of the incremental engine")
+	portfolioPool := flag.String("portfolio-pool", "", "comma-separated oracle pool for the portfolio leg (empty = every registered oracle)")
+	out := flag.String("out", "", "output file (default BENCH_incremental.json, or BENCH_selection.json with -selection)")
 	flag.Parse()
+	if *out == "" {
+		if *selection {
+			*out = "BENCH_selection.json"
+		} else {
+			*out = "BENCH_incremental.json"
+		}
+	}
 
 	specs := costdist.ChipSuite(*scale)
 	var spec *costdist.ChipSpec
@@ -91,6 +108,14 @@ func main() {
 	opt.Threads = *workers
 	if *waves > 0 {
 		opt.Waves = *waves
+	}
+
+	if *selection {
+		if *portfolioPool != "" {
+			opt.Selection.Portfolio = strings.Split(*portfolioPool, ",")
+		}
+		runSelection(chip, spec, *scale, opt, *out)
+		return
 	}
 
 	fmt.Fprintf(os.Stderr, "incbench: %s scale %g — %d nets, %d waves\n",
@@ -142,6 +167,138 @@ func main() {
 	}
 	fmt.Printf("solve reduction after wave 0: %.1f%%  objective delta: %+.2f%%  speedup: %.2fx\n",
 		rep.SolveReduction, rep.ObjectiveDelta, rep.WalltimeSpeedup)
+}
+
+// selRunJSON is one oracle-driver run of the selection benchmark.
+type selRunJSON struct {
+	Method         string           `json:"method"`
+	WS             float64          `json:"ws_ps"`
+	TNS            float64          `json:"tns_ps"`
+	ACE4           float64          `json:"ace4_pct"`
+	WLm            float64          `json:"wirelength_m"`
+	Vias           int64            `json:"vias"`
+	Overflow       float64          `json:"overflow"`
+	Objective      float64          `json:"objective"`
+	NetsSolved     int64            `json:"nets_solved"`
+	SolvesByOracle map[string]int64 `json:"solves_by_oracle"`
+	WalltimeMS     int64            `json:"walltime_ms"`
+}
+
+type selReportJSON struct {
+	Date             string   `json:"date"`
+	Go               string   `json:"go"`
+	CPUs             int      `json:"cpus"`
+	Chip             string   `json:"chip"`
+	Scale            float64  `json:"scale"`
+	Nets             int      `json:"nets"`
+	Waves            int      `json:"waves"`
+	CriticalWeight   float64  `json:"critical_weight"`
+	TightBudgetRatio float64  `json:"tight_budget_ratio"`
+	PortfolioPool    []string `json:"portfolio_pool"`
+
+	PureCD    selRunJSON `json:"pure_cd"`
+	Auto      selRunJSON `json:"auto"`
+	Portfolio selRunJSON `json:"portfolio"`
+
+	// CDSolveReduction is the share of CD-oracle solves the Auto
+	// selector avoids vs the pure-CD run; the objective deltas are
+	// signed (negative = the driver is better than pure CD).
+	CDSolveReduction      float64 `json:"auto_cd_solve_reduction_pct"`
+	AutoObjectiveDelta    float64 `json:"auto_objective_delta_pct"`
+	PortfolioObjDelta     float64 `json:"portfolio_objective_delta_pct"`
+	AutoWalltimeSpeedup   float64 `json:"auto_walltime_speedup"`
+	PortfolioWalltimeSlow float64 `json:"portfolio_walltime_slowdown"`
+}
+
+func toSelRun(m costdist.RouteMetrics, method string) selRunJSON {
+	return selRunJSON{
+		Method: method,
+		WS:     m.WS, TNS: m.TNS, ACE4: m.ACE4, WLm: m.WLm,
+		Vias: m.Vias, Overflow: m.Overflow, Objective: m.Objective,
+		NetsSolved:     m.NetsSolved,
+		SolvesByOracle: m.SolvesByOracle,
+		WalltimeMS:     m.Walltime.Milliseconds(),
+	}
+}
+
+// runSelection benchmarks the oracle drivers: the same chip routed with
+// pure CD, the Auto per-net selector and the Portfolio racer.
+func runSelection(chip *costdist.Chip, spec *costdist.ChipSpec, scale float64, opt costdist.RouterOptions, out string) {
+	// Report the canonical pool the driver actually races: registry
+	// names, deduped, in the driver's fixed (sorted) order.
+	pool := opt.Selection.Portfolio
+	if len(pool) == 0 {
+		pool = costdist.OracleNames()
+	}
+	seen := map[string]bool{}
+	canon := []string{}
+	for _, name := range pool {
+		m, ok := costdist.MethodByName(name)
+		if !ok || m == costdist.Auto || m == costdist.Portfolio {
+			fatal(fmt.Errorf("bad -portfolio-pool oracle %q (available: %s)",
+				name, strings.Join(costdist.OracleNames(), ", ")))
+		}
+		if !seen[m.Name()] {
+			seen[m.Name()] = true
+			canon = append(canon, m.Name())
+		}
+	}
+	sort.Strings(canon)
+	pool = canon
+	opt.Selection.Portfolio = pool
+	fmt.Fprintf(os.Stderr, "incbench: selection on %s scale %g — %d nets, %d waves, portfolio pool %v\n",
+		spec.Name, scale, spec.NNets, opt.Waves, pool)
+	run := func(m costdist.Method) costdist.RouteMetrics {
+		res, err := costdist.RouteChip(chip, m, opt)
+		if err != nil {
+			fatal(fmt.Errorf("%v: %w", m, err))
+		}
+		fmt.Fprintf(os.Stderr, "incbench: %v done in %s — solves %v\n",
+			m, res.Metrics.Walltime.Round(time.Millisecond), res.Metrics.SolvesByOracle)
+		return res.Metrics
+	}
+	pure := run(costdist.CD)
+	auto := run(costdist.Auto)
+	port := run(costdist.Portfolio)
+
+	critW := opt.Selection.CriticalWeight
+	if critW == 0 {
+		// Mirrors router.newDriver's zero-value derivation so the report
+		// records the threshold the runs actually used.
+		critW = 2 * opt.WeightBase
+	}
+	rep := selReportJSON{
+		Date:             time.Now().Format("2006-01-02"),
+		Go:               runtime.Version(),
+		CPUs:             runtime.NumCPU(),
+		Chip:             spec.Name,
+		Scale:            scale,
+		Nets:             len(chip.NL.Nets),
+		Waves:            opt.Waves,
+		CriticalWeight:   critW,
+		TightBudgetRatio: opt.Selection.TightBudgetRatio,
+		PortfolioPool:    pool,
+		PureCD:           toSelRun(pure, "CD"),
+		Auto:             toSelRun(auto, "auto"),
+		Portfolio:        toSelRun(port, "portfolio"),
+		CDSolveReduction: 100 * (1 - float64(auto.SolvesByOracle["cd"])/
+			float64(pure.SolvesByOracle["cd"])),
+		AutoObjectiveDelta:    100 * (auto.Objective - pure.Objective) / pure.Objective,
+		PortfolioObjDelta:     100 * (port.Objective - pure.Objective) / pure.Objective,
+		AutoWalltimeSpeedup:   float64(pure.Walltime) / float64(auto.Walltime),
+		PortfolioWalltimeSlow: float64(port.Walltime) / float64(pure.Walltime),
+	}
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(out, blob, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("auto: CD solves -%.1f%%  objective %+.2f%%  speedup %.2fx\nportfolio: objective %+.2f%%  slowdown %.2fx\n",
+		rep.CDSolveReduction, rep.AutoObjectiveDelta, rep.AutoWalltimeSpeedup,
+		rep.PortfolioObjDelta, rep.PortfolioWalltimeSlow)
 }
 
 func fatal(err error) {

@@ -27,7 +27,13 @@
 //     the first rip-up-and-reroute wave only nets invalidated by
 //     congestion or timing price changes are re-solved, with cache and
 //     delta counters reported in RouteMetrics. The disabled path is
-//     bit-identical to full re-solving.
+//     bit-identical to full re-solving;
+//   - a pluggable oracle registry (internal/oracle) behind the Method
+//     type: every fixed method is a registry lookup, the Auto driver
+//     picks an oracle per net from its timing criticality
+//     (RouterOptions.Selection), and the Portfolio driver races several
+//     oracles per net and keeps the best-priced tree. Per-oracle solve
+//     counts are reported in RouteMetrics.SolvesByOracle.
 //
 // Everything is deterministic given explicit seeds and uses only the
 // standard library.
@@ -77,12 +83,16 @@ type (
 	CDOptions  = core.Options
 	TraceEvent = core.TraceEvent
 
-	// Method selects a Steiner oracle; RouterOptions and RouteMetrics
+	// Method selects a Steiner oracle driver — a thin alias over the
+	// oracle registry lookup for the fixed four, plus the Auto and
+	// Portfolio drivers; SelectionOptions configures their per-net
+	// criticality bands and pool. RouterOptions and RouteMetrics
 	// configure and report full routing runs.
-	Method        = router.Method
-	RouterOptions = router.Options
-	RouteMetrics  = router.Metrics
-	RouteResult   = router.Result
+	Method           = router.Method
+	SelectionOptions = router.SelectionOptions
+	RouterOptions    = router.Options
+	RouteMetrics     = router.Metrics
+	RouteResult      = router.Result
 
 	// Chip is a generated design; ChipSpec its parameters; Tech the
 	// electrical technology behind the delay model.
@@ -98,13 +108,31 @@ type (
 	BufferResult = buffering.Result
 )
 
-// The four Steiner tree algorithms of the paper's comparison (§IV-A).
+// The four Steiner tree algorithms of the paper's comparison (§IV-A),
+// plus the two drivers layered over the oracle registry: Auto picks an
+// oracle per net from its timing criticality, Portfolio races several
+// oracles on every net and keeps the best-priced tree.
 const (
-	L1 = router.L1
-	SL = router.SL
-	PD = router.PD
-	CD = router.CD
+	L1        = router.L1
+	SL        = router.SL
+	PD        = router.PD
+	CD        = router.CD
+	Auto      = router.Auto
+	Portfolio = router.Portfolio
 )
+
+// MethodByName resolves an oracle or driver name — a registry name
+// ("cd", "rsmt", "sl", "pd"), an alias ("l1"), or a driver mode
+// ("auto", "portfolio"), case-insensitive — to its Method.
+func MethodByName(name string) (Method, bool) { return router.MethodByName(name) }
+
+// MethodNames returns every name MethodByName accepts in canonical
+// form: the registry's oracle names followed by the driver modes.
+func MethodNames() []string { return router.MethodNames() }
+
+// OracleNames returns the oracle registry's canonical names, sorted —
+// the valid values for SelectionOptions bands and Portfolio pools.
+func OracleNames() []string { return router.OracleNames() }
 
 // NewGrid builds a routing graph of nx×ny gcells with the given layer
 // stack and physical gcell pitch in µm.
@@ -141,7 +169,10 @@ func SolveCDTraced(in *Instance, opt CDOptions, trace func(TraceEvent)) (*Tree, 
 	return core.SolveTraced(in, opt, trace)
 }
 
-// Solve runs any of the four algorithms standalone on an instance.
+// Solve runs any oracle driver standalone on an instance: one of the
+// four fixed algorithms, Auto (per-net adaptive selection via
+// opt.Selection) or Portfolio (race the pool, keep the best-priced
+// tree).
 func Solve(in *Instance, m Method, opt RouterOptions) (*Tree, error) {
 	return router.SolveNet(in, m, opt)
 }

@@ -152,3 +152,39 @@ func ExampleRouteChip_incremental() {
 	// later waves skip clean nets: true
 	// counters add up: true
 }
+
+// ExampleRouteChip_autoSelection routes a chip with the Auto oracle
+// driver: each net is classified by its timing criticality and routed
+// with the matching registry oracle — the expensive cost-distance
+// algorithm only where the timing price demands it (the same flow as
+// `grroute -oracle auto`).
+func ExampleRouteChip_autoSelection() {
+	spec := costdist.ChipSuite(0.002)[0] // c1, scaled down for the example
+	chip, err := costdist.GenerateChip(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	opt := costdist.DefaultRouterOptions()
+	opt.Threads = 2
+	// opt.Selection tunes the bands; the defaults route critical nets
+	// with "cd", budget-tight nets with "sl" and the rest with "rsmt".
+
+	res, err := costdist.RouteChip(chip, costdist.Auto, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := res.Metrics
+	var total int64
+	for _, c := range m.SolvesByOracle {
+		total += c
+	}
+	fmt.Printf("every net solved by exactly one oracle: %t\n", total == m.NetsSolved)
+	fmt.Printf("several oracles in play: %t\n", len(m.SolvesByOracle) >= 2)
+	fmt.Printf("cd reserved for a critical minority: %t\n",
+		m.SolvesByOracle["cd"] > 0 && m.SolvesByOracle["cd"] < total/2)
+	// Output:
+	// every net solved by exactly one oracle: true
+	// several oracles in play: true
+	// cd reserved for a critical minority: true
+}

@@ -1,0 +1,278 @@
+package oracle_test
+
+import (
+	"reflect"
+	"testing"
+
+	"costdist/internal/chipgen"
+	"costdist/internal/core"
+	"costdist/internal/embed"
+	"costdist/internal/geom"
+	"costdist/internal/nets"
+	"costdist/internal/oracle"
+	"costdist/internal/pd"
+	"costdist/internal/router"
+	"costdist/internal/rsmt"
+	"costdist/internal/sl"
+)
+
+func TestRegistryNamesAndAliases(t *testing.T) {
+	reg := oracle.Default()
+	want := []string{"cd", "pd", "rsmt", "sl"}
+	if !reflect.DeepEqual(reg.Names(), want) {
+		t.Fatalf("Names() = %v, want %v (sorted)", reg.Names(), want)
+	}
+	for _, name := range []string{"cd", "CD", " cd ", "rsmt", "l1", "L1", "sl", "pd"} {
+		if _, ok := reg.Get(name); !ok {
+			t.Fatalf("Get(%q) failed", name)
+		}
+	}
+	if _, ok := reg.Get("dijkstra"); ok {
+		t.Fatal("unknown oracle resolved")
+	}
+	if o, _ := reg.Get("l1"); o.Name() != "rsmt" {
+		t.Fatalf("alias l1 resolved to %q", o.Name())
+	}
+}
+
+func TestRegistryRejectsDuplicates(t *testing.T) {
+	reg := oracle.Default()
+	o, _ := reg.Get("cd")
+	if err := reg.Register(o); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+}
+
+func TestHints(t *testing.T) {
+	reg := oracle.Default()
+	slo, _ := reg.Get("sl")
+	if !slo.Hint().UsesBudgets {
+		t.Fatal("sl must be budget-sensitive")
+	}
+	for _, name := range []string{"cd", "rsmt", "pd"} {
+		o, _ := reg.Get(name)
+		if o.Hint().UsesBudgets {
+			t.Fatalf("%s must not be budget-sensitive", name)
+		}
+	}
+	cdo, _ := reg.Get("cd")
+	rso, _ := reg.Get("rsmt")
+	if cdo.Hint().Cost <= rso.Hint().Cost {
+		t.Fatal("cost ranks inverted: cd must rank above rsmt")
+	}
+}
+
+func TestSelectionBands(t *testing.T) {
+	sel := oracle.Selection{CriticalWeight: 0.01, TightBudgetRatio: 1.5}
+	if got := sel.Pick([]float64{0.001, 0.02}, nil, nil); got != "cd" {
+		t.Fatalf("critical net picked %q", got)
+	}
+	if got := sel.Pick([]float64{0.001}, []float64{100}, []float64{90}); got != "sl" {
+		t.Fatalf("budget-tight net picked %q", got)
+	}
+	if got := sel.Pick([]float64{0.001}, []float64{1000}, []float64{90}); got != "rsmt" {
+		t.Fatalf("relaxed net picked %q", got)
+	}
+	// The trivial band outranks criticality: a single-sink net has a
+	// unique topology, so the cheap oracle is kept however hot the
+	// timing price is.
+	triv := oracle.Selection{TrivialSinks: 1, CriticalWeight: 0.01}
+	if got := triv.Pick([]float64{5.0}, nil, nil); got != "rsmt" {
+		t.Fatalf("trivial single-sink net picked %q", got)
+	}
+	if got := triv.Pick([]float64{5.0, 5.0}, nil, nil); got != "cd" {
+		t.Fatalf("critical two-sink net picked %q", got)
+	}
+	// Disabled bands fall through.
+	off := oracle.Selection{}
+	if got := off.Pick([]float64{1e9}, []float64{0}, []float64{1}); got != "rsmt" {
+		t.Fatalf("disabled thresholds picked %q", got)
+	}
+	// Custom band oracles are honored.
+	custom := oracle.Selection{CriticalWeight: 0.01, Critical: "pd"}
+	if got := custom.Pick([]float64{0.02}, nil, nil); got != "pd" {
+		t.Fatalf("custom critical oracle: got %q", got)
+	}
+}
+
+func TestSelectionValidate(t *testing.T) {
+	reg := oracle.Default()
+	sel, err := oracle.Selection{Critical: "L1", Portfolio: []string{"CD", "l1"}}.Validate(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Critical != "rsmt" || sel.Tight != "sl" || sel.Relaxed != "rsmt" {
+		t.Fatalf("canonicalization wrong: %+v", sel)
+	}
+	if !reflect.DeepEqual(sel.Portfolio, []string{"cd", "rsmt"}) {
+		t.Fatalf("portfolio canonicalization wrong: %v", sel.Portfolio)
+	}
+	if _, err := (oracle.Selection{Tight: "nope"}).Validate(reg); err == nil {
+		t.Fatal("unknown band oracle accepted")
+	}
+	if _, err := (oracle.Selection{Portfolio: []string{"nope"}}).Validate(reg); err == nil {
+		t.Fatal("unknown portfolio oracle accepted")
+	}
+}
+
+// captureInstances routes a tiny chip and returns realistic mid-flow
+// instances (priced multipliers, Lagrangean weights, budgets).
+func captureInstances(t *testing.T) []*nets.Instance {
+	t.Helper()
+	spec := chipgen.Suite(0.002)[0]
+	chip, err := chipgen.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := router.DefaultOptions()
+	opt.Waves = 2
+	opt.Threads = 2
+	opt.CaptureWave = 1
+	res, err := router.Route(chip, router.CD, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Captured) < 8 {
+		t.Fatalf("captured only %d instances", len(res.Captured))
+	}
+	return res.Captured[:8]
+}
+
+// legacySolve replicates, verbatim, the pre-refactor enum-dispatch
+// routeNet/SolveNet path of internal/router, so the registry adapters
+// are locked bit-for-bit against it.
+func legacySolve(in *nets.Instance, m router.Method, opt router.Options) (*nets.RTree, error) {
+	lbif := 0.0
+	if d := in.C.MinDelayPerGCell(); d > 0 {
+		lbif = in.DBif / d
+	}
+	if m == router.CD {
+		return core.Solve(in, opt.CoreOpt)
+	}
+	pts := in.TermPts()
+	ws := make([]float64, len(in.Sinks))
+	for i, s := range in.Sinks {
+		ws[i] = s.W
+	}
+	var topo *nets.PlaneTree
+	switch m {
+	case router.L1:
+		topo = rsmt.Build(pts)
+	case router.SL:
+		var bounds []float64
+		if in.Budgets != nil {
+			if d := in.C.MinDelayPerGCell(); d > 0 {
+				bounds = make([]float64, len(in.Sinks))
+				rootPt := in.G.Pt(in.Root)
+				for k := range in.Sinks {
+					l1 := float64(geom.L1(rootPt, in.G.Pt(in.Sinks[k].V)))
+					b := in.Budgets[k] / d
+					if b < l1 {
+						b = l1
+					}
+					bounds[k] = b
+				}
+			}
+		}
+		topo = sl.Build(pts, ws, sl.Params{Eps: opt.SLEps, Bound: bounds, LBif: lbif, Eta: in.Eta})
+	case router.PD:
+		topo = pd.Build(pts, ws, pd.Params{Alpha: opt.PDAlpha, LBif: lbif, Eta: in.Eta})
+	}
+	r, err := embed.Embed(in, topo)
+	if err != nil {
+		return nil, err
+	}
+	return r.Tree, nil
+}
+
+// A fixed single-oracle run through the registry must be bit-identical
+// to the pre-refactor enum path on every oracle and instance.
+func TestFixedOracleBitIdenticalToLegacyEnumPath(t *testing.T) {
+	ins := captureInstances(t)
+	opt := router.DefaultOptions()
+	for _, m := range []router.Method{router.L1, router.SL, router.PD, router.CD} {
+		for i, in := range ins {
+			want, err := legacySolve(in, m, opt)
+			if err != nil {
+				t.Fatalf("%v/%d legacy: %v", m, i, err)
+			}
+			got, err := router.SolveNet(in, m, opt)
+			if err != nil {
+				t.Fatalf("%v/%d registry: %v", m, i, err)
+			}
+			if !reflect.DeepEqual(want.Steps, got.Steps) {
+				t.Fatalf("%v instance %d: registry tree differs from legacy enum path", m, i)
+			}
+		}
+	}
+}
+
+// Portfolio mode must return the best-priced tree among its pool, with
+// the name-ordered tie-break making it independent of pool spelling
+// order.
+func TestPortfolioKeepsBestPriced(t *testing.T) {
+	ins := captureInstances(t)
+	opt := router.DefaultOptions()
+	opt.Selection.Portfolio = []string{"sl", "cd", "l1", "pd"} // scrambled on purpose
+	for i, in := range ins {
+		got, err := router.SolveNet(in, router.Portfolio, opt)
+		if err != nil {
+			t.Fatalf("portfolio/%d: %v", i, err)
+		}
+		gotEv, err := nets.Evaluate(in, got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		best := -1.0
+		for _, m := range []router.Method{router.L1, router.SL, router.PD, router.CD} {
+			tr, err := router.SolveNet(in, m, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ev, err := nets.Evaluate(in, tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if best < 0 || ev.Total < best {
+				best = ev.Total
+			}
+		}
+		if gotEv.Total > best+1e-9 {
+			t.Fatalf("portfolio/%d: kept %v, best single oracle %v", i, gotEv.Total, best)
+		}
+	}
+}
+
+// Auto selection must route every instance through the oracle its band
+// dictates.
+func TestAutoMatchesExplicitBandOracle(t *testing.T) {
+	ins := captureInstances(t)
+	opt := router.DefaultOptions()
+	reg := oracle.Default()
+	sel := opt.Selection
+	if sel.CriticalWeight == 0 {
+		sel.CriticalWeight = 2 * opt.WeightBase
+	}
+	sel, err := sel.Validate(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, in := range ins {
+		name := sel.PickInstance(in)
+		m, ok := router.MethodByName(name)
+		if !ok {
+			t.Fatalf("selected unknown oracle %q", name)
+		}
+		want, err := router.SolveNet(in, m, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := router.SolveNet(in, router.Auto, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want.Steps, got.Steps) {
+			t.Fatalf("auto/%d: tree differs from band oracle %q", i, name)
+		}
+	}
+}

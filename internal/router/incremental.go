@@ -34,10 +34,15 @@ const incHalo = 1
 //     spike next to — but not on — the tree leaves it clean.
 //
 // Independent of congestion, a net is dirty when one of its sink delay
-// weights (or, for the shallow-light oracle, delay budgets) drifted
+// weights (or, for budget-consuming oracles, delay budgets) drifted
 // beyond tolerance since its last solve, or when it has never been
-// solved. Clean nets keep their cached tree and cached sink delays;
-// only their usage is replayed into the wave's congestion accounting.
+// solved. The cache remembers which oracle produced each tree: budget
+// drift only rips nets whose cached tree came from (or could be
+// replaced through) a budget-sensitive oracle, and under the Auto
+// driver a net whose criticality band — hence selected oracle — changed
+// is dirty even when no individual input drifted beyond tolerance.
+// Clean nets keep their cached tree and cached sink delays; only their
+// usage is replayed into the wave's congestion accounting.
 //
 // The rule is deliberately one-sided: a price drop away from the tree
 // could in principle open a cheaper route that stays undiscovered until
@@ -48,7 +53,7 @@ const incHalo = 1
 type incState struct {
 	g       *grid.Graph
 	tol     float64
-	method  Method
+	drv     *driver
 	tracker *cong.DeltaTracker
 	// regions[ni] is the candidate region of net ni: cached tree bbox
 	// (initially the terminal bbox) plus halo.
@@ -58,11 +63,21 @@ type incState struct {
 	// congestion cost of the cached tree at solve time.
 	lastW, lastB [][]float64
 	lastCost     []float64
-	cand, dirty  []bool
+	// lastOracle[ni] is the driver's index of the oracle that produced
+	// the cached tree (-1 before the first solve). Under Auto a band
+	// change re-dirties the net; budget drift only matters when the
+	// cached (or candidate) oracle consumes budgets.
+	lastOracle  []int16
+	cand, dirty []bool
+	// fastest[ni][k] is the admissible fastest root→sink delay used by
+	// the Auto band check — identical, by construction, to the value
+	// Selection.PickInstance derives on the solve path (same pin
+	// positions, same static MinDelayPerGCell).
+	fastest [][]float64
 }
 
 // newIncState builds the scheduler for one chip.
-func newIncState(chip *chipgen.Chip, m Method, opt Options) *incState {
+func newIncState(chip *chipgen.Chip, drv *driver, opt Options) *incState {
 	nl := chip.NL
 	regions := make([]geom.Rect, len(nl.Nets))
 	for ni, n := range nl.Nets {
@@ -73,18 +88,35 @@ func newIncState(chip *chipgen.Chip, m Method, opt Options) *incState {
 		}
 		regions[ni] = r.Expand(incHalo, chip.G.NX, chip.G.NY)
 	}
-	return &incState{
-		g:        chip.G,
-		tol:      opt.IncrementalTol,
-		method:   m,
-		tracker:  cong.NewDeltaTracker(chip.G, opt.IncrementalTol),
-		regions:  regions,
-		lastW:    make([][]float64, len(nl.Nets)),
-		lastB:    make([][]float64, len(nl.Nets)),
-		lastCost: make([]float64, len(nl.Nets)),
-		cand:     make([]bool, len(nl.Nets)),
-		dirty:    make([]bool, len(nl.Nets)),
+	s := &incState{
+		g:          chip.G,
+		tol:        opt.IncrementalTol,
+		drv:        drv,
+		tracker:    cong.NewDeltaTracker(chip.G, opt.IncrementalTol),
+		regions:    regions,
+		lastW:      make([][]float64, len(nl.Nets)),
+		lastB:      make([][]float64, len(nl.Nets)),
+		lastCost:   make([]float64, len(nl.Nets)),
+		lastOracle: make([]int16, len(nl.Nets)),
+		cand:       make([]bool, len(nl.Nets)),
+		dirty:      make([]bool, len(nl.Nets)),
 	}
+	for i := range s.lastOracle {
+		s.lastOracle[i] = -1
+	}
+	if drv.mode == Auto {
+		minD := grid.NewCosts(chip.G).MinDelayPerGCell()
+		s.fastest = make([][]float64, len(nl.Nets))
+		for ni, n := range nl.Nets {
+			root := nl.Cells[n.Driver].Pos
+			fs := make([]float64, len(n.Sinks))
+			for k, sk := range n.Sinks {
+				fs[k] = float64(geom.L1(root, nl.Cells[sk].Pos)) * minD
+			}
+			s.fastest[ni] = fs
+		}
+	}
+	return s
 }
 
 // drifted reports whether cur moved beyond the relative tolerance from
@@ -133,11 +165,27 @@ func (s *incState) computeDirty(costs *grid.Costs, trees []*nets.RTree, weights,
 				break
 			}
 		}
-		if s.dirty[ni] || s.method != SL {
+		if s.dirty[ni] {
 			continue
 		}
-		// Budgets only steer the shallow-light topology; other oracles
-		// ignore them, so budget drift alone must not rip their nets.
+		if s.drv.mode == Auto {
+			// A criticality band flip re-selects the oracle; the cached
+			// tree, however close in price, came from the wrong one.
+			var fs []float64
+			if budgets[ni] != nil {
+				fs = s.fastest[ni]
+			}
+			if s.drv.pickIdx(weights[ni], budgets[ni], fs) != int(s.lastOracle[ni]) {
+				s.dirty[ni] = true
+				continue
+			}
+		}
+		if !s.drv.usesBudgets(int(s.lastOracle[ni])) {
+			// Budgets only steer budget-consuming oracles (shallow-light);
+			// others ignore them, so budget drift alone must not rip
+			// their nets.
+			continue
+		}
 		lb := s.lastB[ni]
 		if lb == nil || len(lb) != len(budgets[ni]) {
 			s.dirty[ni] = true
@@ -159,14 +207,16 @@ func (s *incState) computeDirty(costs *grid.Costs, trees []*nets.RTree, weights,
 }
 
 // noteSolved snapshots the inputs net ni was just solved under — timing
-// values, the tree's priced congestion cost and its plane region.
-// Worker goroutines call it for disjoint nets, so no locking is needed.
-func (s *incState) noteSolved(ni int, w, b []float64, tr *nets.RTree, congCost float64) {
+// values, the tree's priced congestion cost, its plane region and the
+// oracle that produced the tree. Worker goroutines call it for disjoint
+// nets, so no locking is needed.
+func (s *incState) noteSolved(ni int, w, b []float64, tr *nets.RTree, congCost float64, oracleIdx int) {
 	s.lastW[ni] = append(s.lastW[ni][:0], w...)
 	if b != nil {
 		s.lastB[ni] = append(s.lastB[ni][:0], b...)
 	}
 	s.lastCost[ni] = congCost
+	s.lastOracle[ni] = int16(oracleIdx)
 	if r := tr.BBox(s.g); !r.Empty() {
 		s.regions[ni] = r.Expand(incHalo, s.g.NX, s.g.NY)
 	}

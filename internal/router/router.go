@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -21,39 +22,83 @@ import (
 	"costdist/internal/chipgen"
 	"costdist/internal/cong"
 	"costdist/internal/core"
-	"costdist/internal/embed"
 	"costdist/internal/geom"
 	"costdist/internal/grid"
 	"costdist/internal/nets"
-	"costdist/internal/pd"
-	"costdist/internal/rsmt"
-	"costdist/internal/sl"
+	"costdist/internal/oracle"
 	"costdist/internal/sta"
 )
 
-// Method selects the Steiner tree oracle (paper §IV-A).
+// Method selects the oracle driver of a routing run. The four fixed
+// methods are thin aliases over a registry lookup (paper §IV-A); Auto
+// and Portfolio are drivers layered over the whole registry.
 type Method int
 
-// The four compared algorithms.
 const (
 	L1 Method = iota // shortest L1 Steiner topology, embedded optimally
 	SL               // shallow-light topology, embedded optimally
 	PD               // Prim-Dijkstra topology, embedded optimally
 	CD               // the paper's cost-distance algorithm
+	// Auto picks an oracle per net from its timing criticality
+	// (Options.Selection thresholds).
+	Auto
+	// Portfolio races several oracles on every net and keeps the
+	// best-priced tree (name-ordered tie-break).
+	Portfolio
 )
 
-func (m Method) String() string {
-	switch m {
-	case L1:
-		return "L1"
-	case SL:
-		return "SL"
-	case PD:
-		return "PD"
-	case CD:
-		return "CD"
+// methodInfo maps each Method to its canonical registry/driver name and
+// its display label (the paper's table spelling for the fixed four).
+var methodInfo = []struct{ name, display string }{
+	L1:        {"rsmt", "L1"},
+	SL:        {"sl", "SL"},
+	PD:        {"pd", "PD"},
+	CD:        {"cd", "CD"},
+	Auto:      {"auto", "auto"},
+	Portfolio: {"portfolio", "portfolio"},
+}
+
+// Name returns the canonical registry (or driver-mode) name, "" for an
+// out-of-range value.
+func (m Method) Name() string {
+	if m < 0 || int(m) >= len(methodInfo) {
+		return ""
 	}
-	return fmt.Sprintf("Method(%d)", int(m))
+	return methodInfo[m].name
+}
+
+func (m Method) String() string {
+	if m < 0 || int(m) >= len(methodInfo) {
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+	return methodInfo[m].display
+}
+
+// MethodByName resolves a user-supplied oracle or driver name — any
+// registry name, alias ("l1") or driver mode, case-insensitive — to its
+// Method.
+func MethodByName(name string) (Method, bool) {
+	c := oracle.Canonical(name)
+	for i := range methodInfo {
+		if methodInfo[i].name == c {
+			return Method(i), true
+		}
+	}
+	return 0, false
+}
+
+// defaultRegistry is the immutable registry shared by the router's
+// drivers and name lookups. Callers who want to extend a registry build
+// their own via oracle.Default()/oracle.NewRegistry.
+var defaultRegistry = oracle.Default()
+
+// OracleNames returns the registry's canonical oracle names, sorted.
+func OracleNames() []string { return defaultRegistry.Names() }
+
+// MethodNames returns every accepted method name: the registry's
+// canonical oracle names followed by the driver modes.
+func MethodNames() []string {
+	return append(OracleNames(), "auto", "portfolio")
 }
 
 // Options configures a routing run.
@@ -106,7 +151,17 @@ type Options struct {
 	// the net was last solved under. 0 invalidates on any change; a
 	// negative value forces every net dirty every wave (no skips).
 	IncrementalTol float64
+
+	// Selection configures the Auto selector's criticality bands and
+	// the Portfolio pool; fixed single-oracle runs never consult (or
+	// validate) it. A zero CriticalWeight derives the threshold from
+	// WeightBase (see oracle.Selection).
+	Selection SelectionOptions
 }
+
+// SelectionOptions configures per-net adaptive oracle selection and
+// portfolio mode.
+type SelectionOptions = oracle.Selection
 
 // DefaultOptions returns a configuration mirroring the paper's setup.
 func DefaultOptions() Options {
@@ -127,6 +182,11 @@ func DefaultOptions() Options {
 		CaptureWave: -1,
 
 		IncrementalTol: 0.05,
+
+		// CriticalWeight stays 0: the driver derives it from the actual
+		// WeightBase (2 × floor), so retuning the floor keeps the Auto
+		// critical band coupled to it.
+		Selection: SelectionOptions{TrivialSinks: 1, TightBudgetRatio: 1.25},
 	}
 }
 
@@ -161,6 +221,13 @@ type Metrics struct {
 	SolvedPerWave    []int
 	SkippedPerWave   []int
 	DeltaSegsPerWave []int
+
+	// SolvesByOracle counts oracle invocations by registry name. A
+	// fixed method charges every solve to its one oracle; Auto charges
+	// the selected oracle per net; Portfolio charges every pool member
+	// it races (so the total exceeds NetsSolved by the pool factor).
+	// Only oracles with at least one solve appear.
+	SolvesByOracle map[string]int64
 }
 
 // Result is the outcome of a routing run.
@@ -185,7 +252,176 @@ func (p *scratchPool) grow(n int) {
 	}
 }
 
-// Route runs the full flow on the chip with the given oracle.
+// driver resolves a Method against the oracle registry once per run
+// and dispatches every net solve through it: a fixed single oracle, the
+// adaptive per-net selector, or the portfolio racer. All selection
+// logic is a pure function of the instance, so results never depend on
+// worker count or scheduling.
+type driver struct {
+	reg  *oracle.Registry
+	mode Method
+	// names is the registry's sorted name list; it is the index space
+	// of every per-oracle counter, and index() is its inverse.
+	names   []string
+	oracles []oracle.Oracle
+	// fixed is the oracle index of a fixed single-oracle run (-1 for
+	// Auto/Portfolio).
+	fixed int
+	// sel is the resolved selection (bands validated, thresholds
+	// derived); port the name-ordered portfolio pool.
+	sel  oracle.Selection
+	port []int
+}
+
+// baseDriver assembles the registry-backed skeleton shared by every
+// driver mode.
+func baseDriver(m Method) *driver {
+	d := &driver{reg: defaultRegistry, mode: m, names: defaultRegistry.Names(), fixed: -1}
+	for _, name := range d.names {
+		o, _ := defaultRegistry.Get(name)
+		d.oracles = append(d.oracles, o)
+	}
+	return d
+}
+
+// fixedDrivers caches the four fixed single-oracle drivers. They hold
+// no per-run state (Selection is only consulted by Auto/Portfolio), so
+// one instance serves every run and goroutine — SolveNet on the batch
+// hot path stays allocation-free at the dispatch layer.
+var fixedDrivers struct {
+	once sync.Once
+	d    [CD + 1]*driver
+}
+
+// newDriver resolves the dispatch for one run.
+func newDriver(m Method, opt Options) (*driver, error) {
+	if m >= L1 && m <= CD {
+		fixedDrivers.once.Do(func() {
+			for fm := L1; fm <= CD; fm++ {
+				d := baseDriver(fm)
+				d.fixed = d.index(fm.Name())
+				fixedDrivers.d[fm] = d
+			}
+		})
+		return fixedDrivers.d[m], nil
+	}
+	if m != Auto && m != Portfolio {
+		return nil, fmt.Errorf("router: unknown method %v (available: %v)", m, MethodNames())
+	}
+	d := baseDriver(m)
+	sel := opt.Selection
+	if sel.CriticalWeight == 0 {
+		// A net is critical once pricing has at least doubled one of
+		// its sink weights above the uncritical floor.
+		sel.CriticalWeight = 2 * opt.WeightBase
+	}
+	sel, err := sel.Validate(d.reg)
+	if err != nil {
+		return nil, err
+	}
+	d.sel = sel
+	if m == Portfolio {
+		pool := sel.Portfolio
+		if len(pool) == 0 {
+			pool = d.names
+		}
+		pool = append([]string(nil), pool...)
+		sort.Strings(pool) // fixed name order: deterministic tie-break
+		seen := make(map[int]bool, len(pool))
+		for _, name := range pool {
+			oi := d.index(name)
+			if oi < 0 || seen[oi] {
+				continue
+			}
+			seen[oi] = true
+			d.port = append(d.port, oi)
+		}
+	}
+	return d, nil
+}
+
+// index returns the counter index of a canonical oracle name, -1 if
+// absent.
+func (d *driver) index(name string) int {
+	for i, n := range d.names {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// pickIdx is the Auto band selection on raw per-net timing inputs —
+// shared with the incremental engine's invalidation check so both
+// always agree on the selected oracle.
+func (d *driver) pickIdx(ws, budgets, fastest []float64) int {
+	return d.index(d.sel.Pick(ws, budgets, fastest))
+}
+
+// usesBudgets reports whether a re-solve of a net whose cached tree
+// came from oracle index last could consume Instance.Budgets — the
+// incremental engine's budget-drift invalidation gate.
+func (d *driver) usesBudgets(last int) bool {
+	if d.mode == Portfolio {
+		for _, oi := range d.port {
+			if d.oracles[oi].Hint().UsesBudgets {
+				return true
+			}
+		}
+		return false
+	}
+	return last >= 0 && d.oracles[last].Hint().UsesBudgets
+}
+
+// solve runs the driver on one instance and returns the tree, the
+// index (into names) of the oracle that produced it, and — in
+// Portfolio mode, which prices every candidate anyway — the winning
+// tree's evaluation (nil otherwise; callers evaluate themselves).
+// counts, indexed like names, is charged one per oracle invocation;
+// nil skips the accounting.
+func (d *driver) solve(in *nets.Instance, env *oracle.Env, counts []int64) (*nets.RTree, int, *nets.Eval, error) {
+	charge := func(oi int) {
+		if counts != nil {
+			counts[oi]++
+		}
+	}
+	switch d.mode {
+	case Auto:
+		oi := d.index(d.sel.PickInstance(in))
+		charge(oi)
+		tr, err := d.oracles[oi].Solve(in, env)
+		return tr, oi, nil, err
+	case Portfolio:
+		var best *nets.RTree
+		var bestEv *nets.Eval
+		bestIdx, bestTotal := -1, math.Inf(1)
+		for _, oi := range d.port {
+			tr, err := d.oracles[oi].Solve(in, env)
+			if err != nil {
+				return nil, oi, nil, fmt.Errorf("portfolio %s: %w", d.names[oi], err)
+			}
+			charge(oi)
+			ev, err := nets.Evaluate(in, tr)
+			if err != nil {
+				return nil, oi, nil, fmt.Errorf("portfolio %s eval: %w", d.names[oi], err)
+			}
+			// Strict < keeps the first (name-ordered) oracle on ties.
+			if ev.Total < bestTotal {
+				best, bestEv, bestIdx, bestTotal = tr, ev, oi, ev.Total
+			}
+		}
+		if best == nil {
+			return nil, -1, nil, fmt.Errorf("router: empty portfolio pool")
+		}
+		return best, bestIdx, bestEv, nil
+	default:
+		charge(d.fixed)
+		tr, err := d.oracles[d.fixed].Solve(in, env)
+		return tr, d.fixed, nil, err
+	}
+}
+
+// Route runs the full flow on the chip with the given oracle driver.
 func Route(chip *chipgen.Chip, m Method, opt Options) (*Result, error) {
 	return routeWith(chip, m, opt, &scratchPool{})
 }
@@ -203,6 +439,10 @@ func routeWith(chip *chipgen.Chip, m Method, opt Options, pool *scratchPool) (*R
 		threads = runtime.GOMAXPROCS(0)
 	}
 	pool.grow(threads)
+	drv, err := newDriver(m, opt)
+	if err != nil {
+		return nil, err
+	}
 	pricer := cong.NewPricer(g, opt.PriceAlpha, opt.PriceTarget)
 
 	nNets := len(nl.Nets)
@@ -270,7 +510,15 @@ func routeWith(chip *chipgen.Chip, m Method, opt Options, pool *scratchPool) (*R
 	}
 	var inc *incState
 	if opt.Incremental {
-		inc = newIncState(chip, m, opt)
+		inc = newIncState(chip, drv, opt)
+	}
+
+	// Per-worker oracle invocation counters, indexed like drv.names and
+	// summed after the waves — addition commutes, so the totals are
+	// independent of how nets land on workers.
+	workerCounts := make([][]int64, threads)
+	for i := range workerCounts {
+		workerCounts[i] = make([]int64, len(drv.names))
 	}
 
 	var usage *cong.Usage
@@ -307,6 +555,7 @@ func routeWith(chip *chipgen.Chip, m Method, opt Options, pool *scratchPool) (*R
 				// race.
 				wopt := opt
 				wopt.CoreOpt.Scratch = pool.scr[worker]
+				env := oracle.Env{Core: wopt.CoreOpt, PDAlpha: opt.PDAlpha, SLEps: opt.SLEps, LBif: lbif}
 				for {
 					idx := int(next.Add(1)) - 1
 					if idx >= nWork {
@@ -315,19 +564,21 @@ func routeWith(chip *chipgen.Chip, m Method, opt Options, pool *scratchPool) (*R
 					ni := int(work[idx])
 					in := buildInstance(chip, ni, weights[ni], costs, dbif, opt)
 					in.Budgets = budgets[ni]
-					tr, err := routeNet(in, m, wopt, lbif)
+					tr, oi, ev, err := drv.solve(in, &env, workerCounts[worker])
 					if err != nil {
 						if workerErr[worker] == nil {
 							workerErr[worker] = fmt.Errorf("net %d: %w", ni, err)
 						}
 						continue
 					}
-					ev, err := nets.Evaluate(in, tr)
-					if err != nil {
-						if workerErr[worker] == nil {
-							workerErr[worker] = fmt.Errorf("net %d eval: %w", ni, err)
+					if ev == nil {
+						ev, err = nets.Evaluate(in, tr)
+						if err != nil {
+							if workerErr[worker] == nil {
+								workerErr[worker] = fmt.Errorf("net %d eval: %w", ni, err)
+							}
+							continue
 						}
-						continue
 					}
 					trees[ni] = tr
 					copy(delays[ni], ev.SinkDelay)
@@ -336,10 +587,11 @@ func routeWith(chip *chipgen.Chip, m Method, opt Options, pool *scratchPool) (*R
 							workerUsage[worker].AddArc(st.Arc)
 						}
 					} else {
-						// Snapshot the inputs this solve consumed and the new
-						// tree's cost and region; workers touch disjoint
-						// nets, so this is race-free.
-						inc.noteSolved(ni, weights[ni], budgets[ni], tr, ev.CongCost)
+						// Snapshot the inputs this solve consumed, the new
+						// tree's cost and region, and which oracle produced
+						// it; workers touch disjoint nets, so this is
+						// race-free.
+						inc.noteSolved(ni, weights[ni], budgets[ni], tr, ev.CongCost, oi)
 					}
 					if capture && len(in.Sinks) >= 1 {
 						captured[worker] = append(captured[worker], snapshot(in))
@@ -440,6 +692,14 @@ func routeWith(chip *chipgen.Chip, m Method, opt Options, pool *scratchPool) (*R
 			res.Metrics.Objective += weights[ni][k] * delays[ni][k]
 		}
 	}
+	res.Metrics.SolvesByOracle = map[string]int64{}
+	for _, wc := range workerCounts {
+		for oi, c := range wc {
+			if c > 0 {
+				res.Metrics.SolvesByOracle[drv.names[oi]] += c
+			}
+		}
+	}
 	res.Metrics.WS = timing.WS
 	res.Metrics.TNS = timing.TNS
 	res.Metrics.ACE4 = cong.ACE4(usage)
@@ -467,61 +727,23 @@ func buildInstance(chip *chipgen.Chip, ni int, w []float64, costs *grid.Costs, d
 	return in
 }
 
-// routeNet runs the selected oracle on one instance.
-func routeNet(in *nets.Instance, m Method, opt Options, lbif float64) (*nets.RTree, error) {
-	if m == CD {
-		return core.Solve(in, opt.CoreOpt)
-	}
-	pts := in.TermPts()
-	ws := make([]float64, len(in.Sinks))
-	for i, s := range in.Sinks {
-		ws[i] = s.W
-	}
-	var topo *nets.PlaneTree
-	switch m {
-	case L1:
-		topo = rsmt.Build(pts)
-	case SL:
-		// Convert ps budgets into (admissible) length bounds with the
-		// fastest delay per gcell; keep at least the L1 radius so a
-		// direct connection always satisfies its own bound.
-		var bounds []float64
-		if in.Budgets != nil {
-			if d := in.C.MinDelayPerGCell(); d > 0 {
-				bounds = make([]float64, len(in.Sinks))
-				rootPt := in.G.Pt(in.Root)
-				for k := range in.Sinks {
-					l1 := float64(geom.L1(rootPt, in.G.Pt(in.Sinks[k].V)))
-					b := in.Budgets[k] / d
-					if b < l1 {
-						b = l1
-					}
-					bounds[k] = b
-				}
-			}
-		}
-		topo = sl.Build(pts, ws, sl.Params{Eps: opt.SLEps, Bound: bounds, LBif: lbif, Eta: in.Eta})
-	case PD:
-		topo = pd.Build(pts, ws, pd.Params{Alpha: opt.PDAlpha, LBif: lbif, Eta: in.Eta})
-	default:
-		return nil, fmt.Errorf("router: unknown method %v", m)
-	}
-	r, err := embed.Embed(in, topo)
+// SolveNet runs one oracle driver standalone on a self-contained
+// instance (the Tables I/II harness and the CLI use this for
+// apples-to-apples comparisons on captured instances). The oracle-side
+// code lives in the internal/oracle adapters; this only resolves the
+// driver and derives the environment from the instance.
+func SolveNet(in *nets.Instance, m Method, opt Options) (*nets.RTree, error) {
+	drv, err := newDriver(m, opt)
 	if err != nil {
 		return nil, err
 	}
-	return r.Tree, nil
-}
-
-// SolveNet runs one oracle standalone on a self-contained instance (the
-// Tables I/II harness and the CLI use this for apples-to-apples
-// comparisons on captured instances).
-func SolveNet(in *nets.Instance, m Method, opt Options) (*nets.RTree, error) {
 	lbif := 0.0
 	if d := in.C.MinDelayPerGCell(); d > 0 {
 		lbif = in.DBif / d
 	}
-	return routeNet(in, m, opt, lbif)
+	env := oracle.Env{Core: opt.CoreOpt, PDAlpha: opt.PDAlpha, SLEps: opt.SLEps, LBif: lbif}
+	tr, _, _, err := drv.solve(in, &env, nil)
+	return tr, err
 }
 
 // snapshot deep-copies an instance so it stays valid after the pricer

@@ -22,7 +22,7 @@ func TestRouteAllMethodsSmoke(t *testing.T) {
 	opt := DefaultOptions()
 	opt.Waves = 2
 	opt.Threads = 2
-	for _, m := range []Method{L1, SL, PD, CD} {
+	for _, m := range []Method{L1, SL, PD, CD, Auto, Portfolio} {
 		res, err := Route(chip, m, opt)
 		if err != nil {
 			t.Fatalf("%v: %v", m, err)
@@ -30,6 +30,24 @@ func TestRouteAllMethodsSmoke(t *testing.T) {
 		mt := res.Metrics
 		if mt.WLm <= 0 || mt.Vias <= 0 {
 			t.Fatalf("%v: degenerate metrics %+v", m, mt)
+		}
+		var oracleSolves int64
+		for _, c := range mt.SolvesByOracle {
+			oracleSolves += c
+		}
+		switch m {
+		case Auto:
+			if oracleSolves != mt.NetsSolved {
+				t.Fatalf("auto: %d oracle solves for %d nets", oracleSolves, mt.NetsSolved)
+			}
+		case Portfolio:
+			if oracleSolves != 4*mt.NetsSolved {
+				t.Fatalf("portfolio: %d oracle solves for %d nets", oracleSolves, mt.NetsSolved)
+			}
+		default:
+			if oracleSolves != mt.NetsSolved || mt.SolvesByOracle[m.Name()] != mt.NetsSolved {
+				t.Fatalf("%v: counters %v for %d nets", m, mt.SolvesByOracle, mt.NetsSolved)
+			}
 		}
 		if mt.ACE4 < 0 || mt.ACE4 > 400 {
 			t.Fatalf("%v: ACE4 out of range %v", m, mt.ACE4)
@@ -140,7 +158,7 @@ func TestCaptureInstances(t *testing.T) {
 	}
 	// Instances must be independently solvable and evaluable.
 	in := res.Captured[0]
-	tr, err := routeNet(in, L1, opt, 0)
+	tr, err := SolveNet(in, L1, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +171,34 @@ func TestMethodString(t *testing.T) {
 	if L1.String() != "L1" || SL.String() != "SL" || PD.String() != "PD" || CD.String() != "CD" {
 		t.Fatal("method names wrong")
 	}
+	if Auto.String() != "auto" || Portfolio.String() != "portfolio" {
+		t.Fatal("driver mode names wrong")
+	}
 	if Method(9).String() == "" {
 		t.Fatal("unknown method must still format")
+	}
+}
+
+func TestMethodByName(t *testing.T) {
+	for name, want := range map[string]Method{
+		"cd": CD, "CD": CD, "rsmt": L1, "l1": L1, "L1": L1,
+		"sl": SL, "pd": PD, "auto": Auto, "Portfolio": Portfolio,
+	} {
+		got, ok := MethodByName(name)
+		if !ok || got != want {
+			t.Fatalf("MethodByName(%q) = %v, %v; want %v", name, got, ok, want)
+		}
+	}
+	if _, ok := MethodByName("dijkstra"); ok {
+		t.Fatal("unknown name resolved")
+	}
+	names := MethodNames()
+	if len(names) != 6 {
+		t.Fatalf("MethodNames() = %v", names)
+	}
+	for _, n := range names {
+		if m, ok := MethodByName(n); !ok || m.Name() != n {
+			t.Fatalf("name %q does not round-trip (%v, %v)", n, m, ok)
+		}
 	}
 }

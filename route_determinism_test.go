@@ -6,34 +6,52 @@ import (
 )
 
 // RouteChip with a fixed seed must produce identical metrics regardless
-// of worker count, with and without the incremental engine; the two
-// engines must agree on the final objective within the documented band.
+// of worker count — for the fixed CD oracle, the Auto per-net selector
+// and the Portfolio racer, with and without the incremental engine.
+// Selection and portfolio pricing are pure functions of each instance,
+// so the worker count must never leak into the result (including the
+// per-oracle solve counters).
 func TestRouteChipDeterministicAcrossThreads(t *testing.T) {
 	spec := ChipSuite(0.002)[0]
 	chip, err := GenerateChip(spec)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, incremental := range []bool{false, true} {
-		opt := DefaultRouterOptions()
-		opt.Waves = 3
-		opt.Incremental = incremental
-		var ref RouteMetrics
-		for i, threads := range []int{1, 2, 8} {
-			opt.Threads = threads
-			res, err := RouteChip(chip, CD, opt)
-			if err != nil {
-				t.Fatal(err)
+	for _, m := range []Method{CD, Auto, Portfolio} {
+		for _, incremental := range []bool{false, true} {
+			opt := DefaultRouterOptions()
+			opt.Waves = 3
+			opt.Incremental = incremental
+			var ref RouteMetrics
+			for i, threads := range []int{1, 2, 8} {
+				opt.Threads = threads
+				res, err := RouteChip(chip, m, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				mt := res.Metrics
+				mt.Walltime = 0 // wall-clock, legitimately varies
+				if i == 0 {
+					ref = mt
+					continue
+				}
+				if !reflect.DeepEqual(ref, mt) {
+					t.Fatalf("%v incremental=%v threads=%d changed results:\nref %+v\ngot %+v",
+						m, incremental, threads, ref, mt)
+				}
 			}
-			m := res.Metrics
-			m.Walltime = 0 // wall-clock, legitimately varies
-			if i == 0 {
-				ref = m
-				continue
+			if m == Auto && len(ref.SolvesByOracle) < 2 {
+				t.Fatalf("auto selection degenerated to one oracle: %v", ref.SolvesByOracle)
 			}
-			if !reflect.DeepEqual(ref, m) {
-				t.Fatalf("incremental=%v threads=%d changed results:\nref %+v\ngot %+v",
-					incremental, threads, ref, m)
+			if m == Portfolio {
+				want := ref.NetsSolved * int64(len(ref.SolvesByOracle))
+				var got int64
+				for _, c := range ref.SolvesByOracle {
+					got += c
+				}
+				if got != want {
+					t.Fatalf("portfolio solve counts inconsistent: %v vs %d nets", ref.SolvesByOracle, ref.NetsSolved)
+				}
 			}
 		}
 	}
