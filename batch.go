@@ -1,6 +1,7 @@
 package costdist
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -93,6 +94,20 @@ type BatchResult struct {
 // solves). A per-instance error does not abort the batch; check each
 // BatchResult.Err.
 func SolveBatch(ins []*Instance, m Method, opt BatchOptions) []BatchResult {
+	out, _ := SolveBatchCtx(context.Background(), ins, m, opt)
+	return out
+}
+
+// SolveBatchCtx is SolveBatch with cancellation. The context is checked
+// before every instance claim, so a cancelled batch stops within one
+// solve latency and returns ctx.Err(); results computed before the
+// cancellation are kept (the rest stay zero-valued). On the
+// non-cancelled path the error is nil and the results are bit-identical
+// to SolveBatch.
+func SolveBatchCtx(ctx context.Context, ins []*Instance, m Method, opt BatchOptions) ([]BatchResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	out := make([]BatchResult, len(ins))
 	workers := opt.Workers
 	if workers <= 0 {
@@ -104,9 +119,12 @@ func SolveBatch(ins []*Instance, m Method, opt BatchOptions) []BatchResult {
 	if workers <= 1 {
 		s := NewSolver()
 		for i, in := range ins {
+			if err := ctx.Err(); err != nil {
+				return out, err
+			}
 			out[i] = solveOne(s, in, m, opt.Router)
 		}
-		return out
+		return out, nil
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -116,6 +134,9 @@ func SolveBatch(ins []*Instance, m Method, opt BatchOptions) []BatchResult {
 			defer wg.Done()
 			s := NewSolver()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= len(ins) {
 					return
@@ -125,7 +146,7 @@ func SolveBatch(ins []*Instance, m Method, opt BatchOptions) []BatchResult {
 		}()
 	}
 	wg.Wait()
-	return out
+	return out, ctx.Err()
 }
 
 func solveOne(s *Solver, in *Instance, m Method, ropt RouterOptions) BatchResult {

@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"costdist"
+	"costdist/internal/cliutil"
 )
 
 func main() {
@@ -27,7 +28,7 @@ func main() {
 
 	if *inPath == "" {
 		flag.Usage()
-		os.Exit(2)
+		os.Exit(cliutil.ExitUsage)
 	}
 	data, err := os.ReadFile(*inPath)
 	if err != nil {
@@ -56,11 +57,7 @@ func main() {
 		return
 	}
 
-	m, ok := costdist.MethodByName(*method)
-	if !ok {
-		fatal(fmt.Errorf("unknown method %q (available: %s)",
-			*method, strings.Join(costdist.MethodNames(), ", ")))
-	}
+	m := cliutil.MustMethod("cdsteiner", *method)
 	tr, err := costdist.Solve(in, m, costdist.DefaultRouterOptions())
 	if err != nil {
 		fatal(err)
@@ -94,6 +91,5 @@ func main() {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "cdsteiner:", err)
-	os.Exit(1)
+	cliutil.Fatal("cdsteiner", err)
 }

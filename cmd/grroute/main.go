@@ -10,10 +10,9 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
-	"strings"
 
 	"costdist"
+	"costdist/internal/cliutil"
 )
 
 func main() {
@@ -36,29 +35,19 @@ func main() {
 		}
 	})
 
-	specs := costdist.ChipSuite(*scale)
-	var spec *costdist.ChipSpec
-	for i := range specs {
-		if specs[i].Name == *chipName {
-			spec = &specs[i]
-		}
-	}
-	if spec == nil {
-		fatal(fmt.Errorf("unknown chip %q (want c1..c8)", *chipName))
+	spec, ok := costdist.ChipSpecByName(*chipName, *scale)
+	if !ok {
+		cliutil.FatalUsage("grroute", fmt.Errorf("unknown chip %q (want c1..c8)", *chipName))
 	}
 	name := *oracleName
 	if name == "" {
 		name = *method
 	}
-	m, ok := costdist.MethodByName(name)
-	if !ok {
-		fatal(fmt.Errorf("unknown oracle %q (available: %s)",
-			name, strings.Join(costdist.MethodNames(), ", ")))
-	}
+	m := cliutil.MustMethod("grroute", name)
 
-	chip, err := costdist.GenerateChip(*spec)
+	chip, err := costdist.GenerateChip(spec)
 	if err != nil {
-		fatal(err)
+		cliutil.Fatal("grroute", err)
 	}
 	opt := costdist.DefaultRouterOptions()
 	opt.Waves = *waves
@@ -77,7 +66,7 @@ func main() {
 		spec.Name, spec.NNets, spec.Layers, chip.ClkPeriod, chip.DBif)
 	res, err := costdist.RouteChip(chip, m, opt)
 	if err != nil {
-		fatal(err)
+		cliutil.Fatal("grroute", err)
 	}
 	mt := res.Metrics
 	fmt.Printf("%-5s %-9s WS %8.0f ps  TNS %11.0f ps  ACE4 %6.2f%%  WL %9.4f m  Vias %9d  obj %.0f  %s\n",
@@ -91,9 +80,4 @@ func main() {
 			100*float64(mt.NetsSkipped)/float64(mt.NetsSolved+mt.NetsSkipped),
 			mt.SolvedPerWave, mt.SkippedPerWave, mt.DeltaSegsPerWave)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "grroute:", err)
-	os.Exit(1)
 }

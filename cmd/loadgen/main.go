@@ -1,0 +1,282 @@
+// Command loadgen measures routing-service throughput and writes the
+// snapshot consumed by BENCH_service.json. It drives POST /v1/solve in
+// two phases — "unique" (every request a fresh seed, defeating the
+// cache to measure raw solve throughput) and "repeat" (the corpus
+// resubmitted verbatim, measuring cached throughput and the hit rate) —
+// plus one cancellation probe on a route job.
+//
+// With -addr empty it starts an in-process server on a loopback port,
+// so the benchmark is self-contained:
+//
+//	loadgen -corpus examples/instances -out BENCH_service.json
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"costdist/internal/cliutil"
+	"costdist/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", "", "routed server address (empty: start an in-process server)")
+	corpusDir := flag.String("corpus", "examples/instances", "directory of InstanceJSON documents")
+	concurrency := flag.Int("concurrency", 16, "concurrent client connections")
+	unique := flag.Int("unique", 300, "unique-phase requests (fresh seed each, cache-defeating)")
+	repeat := flag.Int("repeat", 3000, "repeat-phase requests (corpus verbatim, cache-serving)")
+	oracleName := flag.String("oracle", "cd", "oracle for every solve request")
+	out := flag.String("out", "BENCH_service.json", "benchmark snapshot path")
+	flag.Parse()
+	cliutil.MustMethod("loadgen", *oracleName)
+
+	corpus, err := loadCorpus(*corpusDir)
+	if err != nil {
+		cliutil.Fatal("loadgen", err)
+	}
+
+	base := *addr
+	if base == "" {
+		srv, err := service.New(service.Config{DefaultMethod: *oracleName})
+		if err != nil {
+			cliutil.Fatal("loadgen", err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			cliutil.Fatal("loadgen", err)
+		}
+		hs := &http.Server{Handler: srv.Handler()}
+		go hs.Serve(ln)
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			srv.Shutdown(ctx)
+			hs.Shutdown(ctx)
+		}()
+		base = "http://" + ln.Addr().String()
+		fmt.Printf("loadgen: in-process server on %s\n", base)
+	} else if base[0] == ':' {
+		base = "http://127.0.0.1" + base
+	} else {
+		base = "http://" + base
+	}
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        *concurrency * 2,
+		MaxIdleConnsPerHost: *concurrency * 2,
+	}}
+
+	// Unique phase: every request mutates the corpus seed, so nothing
+	// is ever served from cache — raw solve throughput.
+	uniqueStats := runPhase(client, base, *oracleName, *concurrency, *unique, func(i int) []byte {
+		return withSeed(corpus[i%len(corpus)], uint64(1_000_000+i))
+	})
+	// Repeat phase: the corpus verbatim; after one cold pass everything
+	// is a cache hit.
+	repeatStats := runPhase(client, base, *oracleName, *concurrency, *repeat, func(i int) []byte {
+		return corpus[i%len(corpus)]
+	})
+	cancelMS, err := cancelProbe(client, base)
+	if err != nil {
+		cliutil.Fatal("loadgen", err)
+	}
+
+	snap := map[string]any{
+		"generated_by": "cmd/loadgen",
+		"corpus_docs":  len(corpus),
+		"concurrency":  *concurrency,
+		"oracle":       *oracleName,
+		"unique":       uniqueStats,
+		"repeat":       repeatStats,
+		"cancel_ms":    cancelMS,
+	}
+	data, _ := json.MarshalIndent(snap, "", "  ")
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		cliutil.Fatal("loadgen", err)
+	}
+	fmt.Printf("unique: %.0f req/s (p50 %.2f ms, p99 %.2f ms, %d errors)\n",
+		uniqueStats["reqps"], uniqueStats["p50_ms"], uniqueStats["p99_ms"], uniqueStats["errors"])
+	fmt.Printf("repeat: %.0f req/s, %.1f%% cache hits (p50 %.2f ms, p99 %.2f ms)\n",
+		repeatStats["reqps"], 100*repeatStats["hit_rate"].(float64), repeatStats["p50_ms"], repeatStats["p99_ms"])
+	if cancelMS < 0 {
+		fmt.Println("cancel: probe inconclusive (job finished first)")
+	} else {
+		fmt.Printf("cancel: job cancelled in %.1f ms\n", cancelMS)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+func loadCorpus(dir string) ([][]byte, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	var out [][]byte
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, data)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no *.json documents in %s", dir)
+	}
+	return out, nil
+}
+
+// withSeed re-emits an instance document with the seed replaced, which
+// changes its content address without changing its difficulty.
+func withSeed(doc []byte, seed uint64) []byte {
+	var v map[string]any
+	if err := json.Unmarshal(doc, &v); err != nil {
+		return doc
+	}
+	v["seed"] = seed
+	out, err := json.Marshal(v)
+	if err != nil {
+		return doc
+	}
+	return out
+}
+
+// runPhase fans n solve requests over the worker count and aggregates
+// throughput, latency percentiles and the client-observed hit rate.
+func runPhase(client *http.Client, base, oracle string, workers, n int, body func(int) []byte) map[string]any {
+	var next, hits, errs atomic.Int64
+	durs := make([][]time.Duration, workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				req := body(i)
+				wrapped, _ := json.Marshal(map[string]any{
+					"method":   oracle,
+					"instance": json.RawMessage(req),
+				})
+				t0 := time.Now()
+				resp, err := client.Post(base+"/v1/solve", "application/json", bytes.NewReader(wrapped))
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs.Add(1)
+					continue
+				}
+				durs[w] = append(durs[w], time.Since(t0))
+				if resp.Header.Get("X-Cache") == "hit" {
+					hits.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	for _, d := range durs {
+		all = append(all, d...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p float64) float64 {
+		if len(all) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(all)-1))
+		return float64(all[i]) / float64(time.Millisecond)
+	}
+	ok := len(all)
+	hitRate := 0.0
+	if ok > 0 {
+		hitRate = float64(hits.Load()) / float64(ok)
+	}
+	return map[string]any{
+		"requests":   n,
+		"errors":     errs.Load(),
+		"elapsed_s":  elapsed.Seconds(),
+		"reqps":      float64(ok) / elapsed.Seconds(),
+		"hit_rate":   hitRate,
+		"p50_ms":     pct(0.50),
+		"p95_ms":     pct(0.95),
+		"p99_ms":     pct(0.99),
+		"mean_ms":    mean(all),
+		"throughput": fmt.Sprintf("%.0f req/s", float64(ok)/elapsed.Seconds()),
+	}
+}
+
+func mean(durs []time.Duration) float64 {
+	if len(durs) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range durs {
+		sum += d
+	}
+	return float64(sum) / float64(len(durs)) / float64(time.Millisecond)
+}
+
+// cancelProbe submits a deliberately long route job, cancels it, and
+// reports how long the DELETE + status confirmation took — the
+// service-level view of the per-net cancellation plumbing. The seed is
+// time-derived so a re-run against a persistent server never turns the
+// probe into a cache hit. Returns -1 (inconclusive, not an error) if
+// the job finished before the cancel landed.
+func cancelProbe(client *http.Client, base string) (float64, error) {
+	body := fmt.Sprintf(`{"chip":"c1","scale":0.02,"waves":12,"seed":%d}`,
+		uint64(time.Now().UnixNano()))
+	resp, err := client.Post(base+"/v1/route", "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		return 0, err
+	}
+	var jv service.JobView
+	if err := json.NewDecoder(resp.Body).Decode(&jv); err != nil {
+		return 0, err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return 0, fmt.Errorf("route submit: status %d", resp.StatusCode)
+	}
+	time.Sleep(100 * time.Millisecond) // let the job start routing
+	t0 := time.Now()
+	req, _ := http.NewRequest(http.MethodDelete, base+"/v1/jobs/"+jv.ID, nil)
+	dresp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	var after service.JobView
+	if err := json.NewDecoder(dresp.Body).Decode(&after); err != nil {
+		return 0, err
+	}
+	dresp.Body.Close()
+	switch after.Status {
+	case service.JobCancelled:
+		return float64(time.Since(t0)) / float64(time.Millisecond), nil
+	case service.JobDone:
+		return -1, nil // finished before the cancel landed; nothing to measure
+	default:
+		return 0, fmt.Errorf("job status after cancel: %s", after.Status)
+	}
+}

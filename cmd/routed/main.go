@@ -1,0 +1,80 @@
+// Command routed serves the costdist solver as a long-running routing
+// service: an HTTP JSON API over a sharded worker pool with per-worker
+// scratch arenas and a content-addressed result cache. See
+// internal/service for the endpoint semantics.
+//
+// Usage:
+//
+//	routed [-addr :8423] [-oracle cd] [-shards 0] [-workers 1] [-queue 128] [-cache-mb 64]
+//
+// SIGINT/SIGTERM shut the server down gracefully: in-flight jobs are
+// cancelled between per-net solves and the listener drains.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"costdist/internal/cliutil"
+	"costdist/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8423", "listen address")
+	oracleName := flag.String("oracle", "cd", "default oracle or driver for requests that omit one: cd, rsmt (alias l1), sl, pd, auto, portfolio")
+	shards := flag.Int("shards", 0, "worker pool shards (0 = one per CPU, capped at 16)")
+	workers := flag.Int("workers", 1, "solver workers per shard, one scratch arena each")
+	queue := flag.Int("queue", 128, "bounded task queue depth per shard (full queues answer 503)")
+	cacheMB := flag.Int("cache-mb", 64, "result cache byte budget in MiB (0 disables caching)")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		cliutil.FatalUsage("routed", fmt.Errorf("unexpected arguments: %v", flag.Args()))
+	}
+	cliutil.MustMethod("routed", *oracleName) // exits 2 listing the valid set
+
+	cacheBytes := int64(*cacheMB) << 20
+	if *cacheMB <= 0 {
+		cacheBytes = -1
+	}
+	srv, err := service.New(service.Config{
+		Shards:          *shards,
+		WorkersPerShard: *workers,
+		QueueDepth:      *queue,
+		CacheBytes:      cacheBytes,
+		DefaultMethod:   *oracleName,
+	})
+	if err != nil {
+		cliutil.Fatal("routed", err)
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		sig := <-sigs
+		fmt.Fprintf(os.Stderr, "routed: %v, shutting down\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx) // cancels jobs between per-net solves
+		_ = hs.Shutdown(ctx)  // stops the listener, drains connections
+	}()
+
+	fmt.Printf("routed: listening on %s (default oracle %s)\n", *addr, *oracleName)
+	err = hs.ListenAndServe()
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		cliutil.Fatal("routed", err)
+	}
+	// ErrServerClosed arrives as soon as the listener closes; wait for
+	// the shutdown goroutine so in-flight responses finish draining
+	// before the process exits.
+	<-drained
+}

@@ -40,6 +40,8 @@
 package costdist
 
 import (
+	"context"
+
 	"costdist/internal/buffering"
 	"costdist/internal/chipgen"
 	"costdist/internal/core"
@@ -197,9 +199,28 @@ func RouteChip(chip *Chip, m Method, opt RouterOptions) (*RouteResult, error) {
 	return router.Route(chip, m, opt)
 }
 
+// RouteChipCtx is RouteChip with cancellation: the context is checked
+// between rip-up-and-reroute waves and between per-net oracle solves, so
+// a cancelled run returns ctx.Err() within roughly one net-solve
+// latency. The non-cancelled path is bit-identical to RouteChip.
+func RouteChipCtx(ctx context.Context, chip *Chip, m Method, opt RouterOptions) (*RouteResult, error) {
+	return router.RouteCtx(ctx, chip, m, opt)
+}
+
 // ChipSuite returns the c1..c8 specs of Table III with net counts
 // scaled by scale (1.0 = paper size; layer counts always exact).
 func ChipSuite(scale float64) []ChipSpec { return chipgen.Suite(scale) }
+
+// ChipSpecByName returns the suite spec with the given name at the
+// given scale — the lookup shared by the CLIs and the service layer.
+func ChipSpecByName(name string, scale float64) (ChipSpec, bool) {
+	for _, s := range chipgen.Suite(scale) {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return ChipSpec{}, false
+}
 
 // GenerateChip builds a synthetic design from a spec.
 func GenerateChip(spec ChipSpec) (*Chip, error) { return chipgen.Generate(spec) }

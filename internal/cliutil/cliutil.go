@@ -1,0 +1,63 @@
+// Package cliutil centralizes the flag-validation conventions shared by
+// the repo's command-line tools (grroute, cdsteiner, routed): usage
+// errors — bad flag values, unknown oracles — exit with code 2 (the
+// flag package's convention), runtime failures exit with code 1, and an
+// unknown oracle name always reports the full valid set.
+package cliutil
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"costdist"
+)
+
+// Exit codes: runtime failures exit ExitFailure, bad flags or usage
+// errors exit ExitUsage.
+const (
+	ExitFailure = 1
+	ExitUsage   = 2
+)
+
+// Stderr and exit are swapped by tests; production code never touches
+// them.
+var (
+	Stderr io.Writer = os.Stderr
+	exit             = os.Exit
+)
+
+// ResolveMethod maps a user-supplied -oracle/-method value to its
+// Method. The error of an unknown name lists every accepted name so the
+// user never has to guess the valid set.
+func ResolveMethod(name string) (costdist.Method, error) {
+	m, ok := costdist.MethodByName(name)
+	if !ok {
+		return 0, fmt.Errorf("unknown oracle %q (valid: %s)",
+			name, strings.Join(costdist.MethodNames(), ", "))
+	}
+	return m, nil
+}
+
+// MustMethod resolves name or exits with the usage code, printing the
+// valid oracle set.
+func MustMethod(cmd, name string) costdist.Method {
+	m, err := ResolveMethod(name)
+	if err != nil {
+		FatalUsage(cmd, err)
+	}
+	return m
+}
+
+// Fatal reports a runtime failure ("cmd: err") and exits 1.
+func Fatal(cmd string, err error) {
+	fmt.Fprintf(Stderr, "%s: %v\n", cmd, err)
+	exit(ExitFailure)
+}
+
+// FatalUsage reports a bad-flag/usage error and exits 2.
+func FatalUsage(cmd string, err error) {
+	fmt.Fprintf(Stderr, "%s: %v\n", cmd, err)
+	exit(ExitUsage)
+}

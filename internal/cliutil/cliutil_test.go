@@ -1,0 +1,79 @@
+package cliutil
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"strings"
+	"testing"
+
+	"costdist"
+)
+
+// Unknown oracle names must exit with the usage code (2) and print the
+// full valid set, so every CLI sharing this helper behaves identically.
+func TestMustMethodBadNameExits2WithValidSet(t *testing.T) {
+	var buf bytes.Buffer
+	code := -1
+	Stderr = &buf
+	exit = func(c int) { code = c; panic("exit") }
+	defer func() {
+		Stderr = os.Stderr
+		exit = os.Exit
+		if r := recover(); r == nil {
+			t.Fatal("MustMethod did not exit on bad name")
+		}
+		if code != ExitUsage {
+			t.Fatalf("exit code = %d, want %d", code, ExitUsage)
+		}
+		out := buf.String()
+		for _, name := range costdist.MethodNames() {
+			if !strings.Contains(out, name) {
+				t.Fatalf("usage error %q does not list oracle %q", out, name)
+			}
+		}
+		if !strings.Contains(out, "mycmd:") {
+			t.Fatalf("usage error %q does not name the command", out)
+		}
+	}()
+	MustMethod("mycmd", "nope")
+}
+
+func TestResolveMethod(t *testing.T) {
+	for _, name := range costdist.MethodNames() {
+		if _, err := ResolveMethod(name); err != nil {
+			t.Fatalf("ResolveMethod(%q): %v", name, err)
+		}
+	}
+	if m, err := ResolveMethod("CD"); err != nil || m != costdist.CD {
+		t.Fatalf("ResolveMethod is not case-insensitive: %v, %v", m, err)
+	}
+	_, err := ResolveMethod("bogus")
+	if err == nil {
+		t.Fatal("ResolveMethod accepted a bogus name")
+	}
+	if !strings.Contains(err.Error(), "valid:") {
+		t.Fatalf("error %q does not advertise the valid set", err)
+	}
+}
+
+func TestFatalExitCodes(t *testing.T) {
+	for _, tc := range []struct {
+		f    func(string, error)
+		want int
+	}{{Fatal, ExitFailure}, {FatalUsage, ExitUsage}} {
+		var buf bytes.Buffer
+		code := -1
+		Stderr = &buf
+		exit = func(c int) { code = c }
+		tc.f("cmd", errors.New("boom"))
+		Stderr = os.Stderr
+		exit = os.Exit
+		if code != tc.want {
+			t.Fatalf("exit code = %d, want %d", code, tc.want)
+		}
+		if got := buf.String(); got != "cmd: boom\n" {
+			t.Fatalf("stderr = %q", got)
+		}
+	}
+}

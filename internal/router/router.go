@@ -11,6 +11,7 @@
 package router
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -233,6 +234,10 @@ type Metrics struct {
 // Result is the outcome of a routing run.
 type Result struct {
 	Metrics Metrics
+	// Trees holds the final embedded tree of every net, indexed like
+	// chip.NL.Nets (nil for nets the run never routed). They are what
+	// Metrics.Objective scores, and what MarshalRouteResult serializes.
+	Trees []*nets.RTree
 	// Captured holds standalone instances snapshot at CaptureWave.
 	Captured []*nets.Instance
 }
@@ -423,10 +428,21 @@ func (d *driver) solve(in *nets.Instance, env *oracle.Env, counts []int64) (*net
 
 // Route runs the full flow on the chip with the given oracle driver.
 func Route(chip *chipgen.Chip, m Method, opt Options) (*Result, error) {
-	return routeWith(chip, m, opt, &scratchPool{})
+	return routeWith(context.Background(), chip, m, opt, &scratchPool{})
 }
 
-func routeWith(chip *chipgen.Chip, m Method, opt Options, pool *scratchPool) (*Result, error) {
+// RouteCtx is Route with cancellation: the context is checked between
+// waves and between per-net oracle solves, so a cancelled run returns
+// ctx.Err() within roughly one net-solve latency. On the non-cancelled
+// path results are bit-identical to Route.
+func RouteCtx(ctx context.Context, chip *chipgen.Chip, m Method, opt Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return routeWith(ctx, chip, m, opt, &scratchPool{})
+}
+
+func routeWith(ctx context.Context, chip *chipgen.Chip, m Method, opt Options, pool *scratchPool) (*Result, error) {
 	start := time.Now()
 	g := chip.G
 	nl := chip.NL
@@ -523,6 +539,9 @@ func routeWith(chip *chipgen.Chip, m Method, opt Options, pool *scratchPool) (*R
 
 	var usage *cong.Usage
 	for wave := 0; wave < opt.Waves; wave++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		costs := pricer.Costs()
 		capture := wave == opt.CaptureWave
 
@@ -557,6 +576,11 @@ func routeWith(chip *chipgen.Chip, m Method, opt Options, pool *scratchPool) (*R
 				wopt.CoreOpt.Scratch = pool.scr[worker]
 				env := oracle.Env{Core: wopt.CoreOpt, PDAlpha: opt.PDAlpha, SLEps: opt.SLEps, LBif: lbif}
 				for {
+					// The cancellation point of the hot loop: one check per
+					// net claim, so a kill takes effect within one solve.
+					if ctx.Err() != nil {
+						return
+					}
 					idx := int(next.Add(1)) - 1
 					if idx >= nWork {
 						return
@@ -600,6 +624,9 @@ func routeWith(chip *chipgen.Chip, m Method, opt Options, pool *scratchPool) (*R
 			}(w)
 		}
 		wg.Wait()
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		for _, err := range workerErr {
 			if err != nil {
 				return nil, err
@@ -700,6 +727,7 @@ func routeWith(chip *chipgen.Chip, m Method, opt Options, pool *scratchPool) (*R
 			}
 		}
 	}
+	res.Trees = trees
 	res.Metrics.WS = timing.WS
 	res.Metrics.TNS = timing.TNS
 	res.Metrics.ACE4 = cong.ACE4(usage)
@@ -762,11 +790,24 @@ func snapshot(in *nets.Instance) *nets.Instance {
 // scratch pool is shared across all chips, so solver state is recycled
 // suite-wide, not just within one chip's waves.
 func RouteAll(chips []*chipgen.Chip, m Method, opt Options) ([]Metrics, error) {
+	return RouteAllCtx(context.Background(), chips, m, opt)
+}
+
+// RouteAllCtx is RouteAll with cancellation; the context propagates into
+// every chip's waves, so a cancelled suite run stops within one
+// net-solve latency and returns ctx.Err() unwrapped.
+func RouteAllCtx(ctx context.Context, chips []*chipgen.Chip, m Method, opt Options) ([]Metrics, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	out := make([]Metrics, len(chips))
 	pool := &scratchPool{}
 	for i, chip := range chips {
-		r, err := routeWith(chip, m, opt, pool)
+		r, err := routeWith(ctx, chip, m, opt, pool)
 		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
 			return nil, fmt.Errorf("%s/%s: %w", chip.Spec.Name, m, err)
 		}
 		out[i] = r.Metrics

@@ -1,0 +1,62 @@
+package service
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestCacheLRUEvictionUnderByteBudget(t *testing.T) {
+	c := newResultCache(100)
+	body := make([]byte, 40)
+	for i := 0; i < 3; i++ {
+		c.Put(fmt.Sprintf("k%d", i), body)
+	}
+	// 3×40 > 100: k0 (least recently used) must be gone.
+	if _, ok := c.Get("k0"); ok {
+		t.Fatal("k0 survived eviction")
+	}
+	for _, k := range []string{"k1", "k2"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%s evicted too early", k)
+		}
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Bytes != 80 || st.Entries != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+
+	// Touching k1 makes k2 the eviction victim.
+	c.Get("k1")
+	c.Put("k3", body)
+	if _, ok := c.Get("k2"); ok {
+		t.Fatal("k2 survived although k1 was fresher")
+	}
+	if _, ok := c.Get("k1"); !ok {
+		t.Fatal("recently used k1 evicted")
+	}
+}
+
+func TestCacheOversizedAndDisabled(t *testing.T) {
+	c := newResultCache(10)
+	c.Put("big", make([]byte, 11))
+	if _, ok := c.Get("big"); ok {
+		t.Fatal("cached a body above the whole budget")
+	}
+	d := newResultCache(-1)
+	d.Put("k", []byte("v"))
+	if _, ok := d.Get("k"); ok {
+		t.Fatal("disabled cache returned a hit")
+	}
+}
+
+func TestCacheHitMissCounters(t *testing.T) {
+	c := newResultCache(1000)
+	c.Get("a")
+	c.Put("a", []byte("body"))
+	c.Get("a")
+	c.Get("a")
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 2/1", st.Hits, st.Misses)
+	}
+}

@@ -1,0 +1,35 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+// The registry must stay bounded: terminal jobs beyond the retention
+// cap are evicted oldest-first, live jobs never are.
+func TestJobRegistryEvictsOldestTerminal(t *testing.T) {
+	r := newJobRegistry()
+	live := r.create(context.Background()) // stays queued forever
+	for i := 0; i < maxRetainedJobs+10; i++ {
+		j := r.create(context.Background())
+		j.finish(JobDone, []byte("x"), "")
+	}
+	r.mu.Lock()
+	n := len(r.jobs)
+	r.mu.Unlock()
+	if n > maxRetainedJobs {
+		t.Fatalf("registry holds %d jobs, cap %d", n, maxRetainedJobs)
+	}
+	if _, ok := r.get(live.id); !ok {
+		t.Fatal("live job was evicted")
+	}
+	if _, ok := r.get("job-000002"); ok {
+		t.Fatal("oldest terminal job survived eviction")
+	}
+	// The newest terminal jobs are still pollable.
+	last := fmt.Sprintf("job-%06d", maxRetainedJobs+11)
+	if _, ok := r.get(last); !ok {
+		t.Fatalf("newest job %s missing", last)
+	}
+}

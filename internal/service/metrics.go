@@ -1,0 +1,161 @@
+package service
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// latencyBuckets are the fixed histogram bucket bounds in seconds.
+// Solves on the example corpus land around the first few buckets; route
+// jobs fill the tail.
+var latencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// histogram is a fixed-bucket latency histogram in the Prometheus
+// cumulative style: counts[i] counts observations ≤ latencyBuckets[i].
+type histogram struct {
+	counts  []atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+func newHistogram() *histogram {
+	return &histogram{counts: make([]atomic.Int64, len(latencyBuckets))}
+}
+
+func (h *histogram) Observe(seconds float64) {
+	for i, b := range latencyBuckets {
+		if seconds <= b {
+			h.counts[i].Add(1)
+		}
+	}
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		new := math.Float64bits(math.Float64frombits(old) + seconds)
+		if h.sumBits.CompareAndSwap(old, new) {
+			return
+		}
+	}
+}
+
+// metrics aggregates the server-wide counters exposed on /metrics.
+type metrics struct {
+	solveRequests atomic.Int64 // POST /v1/solve accepted for processing
+	routeRequests atomic.Int64 // POST /v1/route accepted for processing
+	badRequests   atomic.Int64 // 4xx responses
+	queueRejects  atomic.Int64 // 503 queue-full responses
+
+	solveLatency *histogram // time-to-response of /v1/solve (hits and misses)
+	jobLatency   *histogram // run time of route jobs
+
+	mu       sync.Mutex
+	byOracle map[string]int64 // oracle/driver solve counts
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		solveLatency: newHistogram(),
+		jobLatency:   newHistogram(),
+		byOracle:     map[string]int64{},
+	}
+}
+
+// chargeOracle adds per-oracle solve counts (from RouteMetrics, or one
+// count for a standalone solve).
+func (m *metrics) chargeOracle(name string, n int64) {
+	m.mu.Lock()
+	m.byOracle[name] += n
+	m.mu.Unlock()
+}
+
+func (m *metrics) oracleCounts() map[string]int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]int64, len(m.byOracle))
+	for k, v := range m.byOracle {
+		out[k] = v
+	}
+	return out
+}
+
+// renderMetrics assembles the /metrics body: the Prometheus text
+// exposition of every server counter — request totals, queue depth,
+// cache hit/miss/byte gauges, per-oracle solve counts and the latency
+// histograms.
+func renderMetrics(m *metrics, cs CacheStats, queueDepth int, jobs map[string]int) string {
+	var b []byte
+	add := func(format string, args ...any) {
+		b = append(b, fmt.Sprintf(format, args...)...)
+	}
+	add("# TYPE routed_requests_total counter\n")
+	add("routed_requests_total{endpoint=\"solve\"} %d\n", m.solveRequests.Load())
+	add("routed_requests_total{endpoint=\"route\"} %d\n", m.routeRequests.Load())
+	add("# TYPE routed_bad_requests_total counter\n")
+	add("routed_bad_requests_total %d\n", m.badRequests.Load())
+	add("# TYPE routed_queue_rejects_total counter\n")
+	add("routed_queue_rejects_total %d\n", m.queueRejects.Load())
+	add("# TYPE routed_queue_depth gauge\n")
+	add("routed_queue_depth %d\n", queueDepth)
+
+	add("# TYPE routed_cache_hits_total counter\n")
+	add("routed_cache_hits_total %d\n", cs.Hits)
+	add("# TYPE routed_cache_misses_total counter\n")
+	add("routed_cache_misses_total %d\n", cs.Misses)
+	add("# TYPE routed_cache_evictions_total counter\n")
+	add("routed_cache_evictions_total %d\n", cs.Evictions)
+	add("# TYPE routed_cache_bytes gauge\n")
+	add("routed_cache_bytes %d\n", cs.Bytes)
+	add("# TYPE routed_cache_entries gauge\n")
+	add("routed_cache_entries %d\n", cs.Entries)
+
+	add("# TYPE routed_jobs gauge\n")
+	for _, st := range sortedKeys(jobs) {
+		add("routed_jobs{status=%q} %d\n", st, jobs[st])
+	}
+
+	add("# TYPE routed_solves_total counter\n")
+	counts := m.oracleCounts()
+	for _, name := range sortedKeysI64(counts) {
+		add("routed_solves_total{oracle=%q} %d\n", name, counts[name])
+	}
+
+	renderHistogram(&b, "routed_solve_latency_seconds", m.solveLatency)
+	renderHistogram(&b, "routed_job_latency_seconds", m.jobLatency)
+	return string(b)
+}
+
+func renderHistogram(b *[]byte, name string, h *histogram) {
+	*b = append(*b, fmt.Sprintf("# TYPE %s histogram\n", name)...)
+	for i, bound := range latencyBuckets {
+		*b = append(*b, fmt.Sprintf("%s_bucket{le=%q} %d\n",
+			name, strconv.FormatFloat(bound, 'g', -1, 64), h.counts[i].Load())...)
+	}
+	*b = append(*b, fmt.Sprintf("%s_bucket{le=\"+Inf\"} %d\n", name, h.count.Load())...)
+	*b = append(*b, fmt.Sprintf("%s_sum %g\n", name, math.Float64frombits(h.sumBits.Load()))...)
+	*b = append(*b, fmt.Sprintf("%s_count %d\n", name, h.count.Load())...)
+}
+
+func sortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedKeysI64(m map[string]int64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

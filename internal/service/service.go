@@ -1,0 +1,674 @@
+// Package service turns the costdist solver library into a long-running
+// routing service: an HTTP JSON API backed by a bounded job queue and a
+// sharded worker pool that reuses the library's scratch-arena machinery
+// per worker, with a content-addressed LRU result cache in front. All
+// solving goes through the same public costdist entry points as library
+// callers, so service responses are bit-identical to library results —
+// the approximation guarantees certified by the differential harness
+// carry over to every response.
+//
+// Endpoints:
+//
+//	POST   /v1/solve            solve one cost-distance instance (sync)
+//	POST   /v1/route            start a chip routing job (async, 202)
+//	GET    /v1/jobs/{id}        job status
+//	GET    /v1/jobs/{id}/result job result (200 once done)
+//	DELETE /v1/jobs/{id}        cancel a job
+//	GET    /healthz             liveness + queue depth
+//	GET    /metrics             Prometheus text metrics
+package service
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"costdist"
+)
+
+// maxBodyBytes bounds request bodies; instances big enough to exceed it
+// should go through the library, not JSON-over-HTTP.
+const maxBodyBytes = 16 << 20
+
+// maxInstanceVertices bounds nx·ny·layers of a solve request. A
+// ~100-byte body can otherwise demand a multi-GB grid allocation on
+// the handler goroutine — before the pool's backpressure applies — so
+// network input gets a hard cap the trusted CLI paths never needed.
+const maxInstanceVertices = 1 << 24
+
+// Route request caps, for the same reason: tiny bodies must not be
+// able to demand unbounded goroutines (threads), netlist sizes (scale)
+// or runtimes (waves). Scale 1.0 is the paper-size suite — the largest
+// legitimate workload.
+const (
+	maxRouteThreads = 32
+	maxRouteWaves   = 64
+	maxRouteScale   = 1.0
+)
+
+// Config sizes the server. Zero values select the documented defaults.
+type Config struct {
+	// Shards is the number of worker-pool shards; requests land on the
+	// shard of their cache digest, so hot instances hit a warm arena.
+	// Default: NumCPU, capped at 16.
+	Shards int
+	// WorkersPerShard is the solver goroutine count per shard, one
+	// scratch arena each. Default: 1.
+	WorkersPerShard int
+	// QueueDepth bounds each shard's task queue; a full queue answers
+	// 503 instead of buffering unboundedly. Default: 128.
+	QueueDepth int
+	// RouteWorkers sizes the separate pool that runs asynchronous route
+	// jobs. Long-running routes never share a queue or worker with the
+	// bounded-latency synchronous solves, so one big job cannot starve
+	// a slice of the solve keyspace. Default: 2.
+	RouteWorkers int
+	// CacheBytes is the result cache's byte budget (≤ 0 disables it
+	// after defaulting; the zero value still means the default).
+	// Default: 64 MiB.
+	CacheBytes int64
+	// DefaultMethod is the oracle used when a request does not name
+	// one. Default: "cd".
+	DefaultMethod string
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = runtime.NumCPU()
+		if c.Shards > 16 {
+			c.Shards = 16
+		}
+	}
+	if c.WorkersPerShard <= 0 {
+		c.WorkersPerShard = 1
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 128
+	}
+	if c.RouteWorkers <= 0 {
+		c.RouteWorkers = 2
+	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 64 << 20
+	}
+	if c.DefaultMethod == "" {
+		c.DefaultMethod = "cd"
+	}
+	return c
+}
+
+// Server is the routing service. Create with New, mount Handler() on an
+// http.Server, stop with Shutdown.
+type Server struct {
+	cfg   Config
+	cache *resultCache
+	jobs  *jobRegistry
+	// pool serves synchronous solves (sharded by cache digest);
+	// routePool runs asynchronous route jobs, so unbounded jobs never
+	// queue ahead of bounded-latency solves.
+	pool      *pool
+	routePool *pool
+	met       *metrics
+	mux       *http.ServeMux
+	ctx       context.Context // root of every job/task context
+	cancel    context.CancelFunc
+	// inflight maps solve cache keys to a channel closed when the
+	// leading solve for that key completes — concurrent identical
+	// misses wait for the leader instead of re-solving (singleflight).
+	inflight sync.Map
+	// routeInflight maps route cache keys to the *job currently
+	// computing them; identical route requests submitted meanwhile
+	// become followers that mirror the leader's outcome instead of
+	// re-running the whole route.
+	routeInflight sync.Map
+}
+
+// New validates the configuration and starts the worker pool.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if _, ok := costdist.MethodByName(cfg.DefaultMethod); !ok {
+		return nil, fmt.Errorf("service: unknown default method %q (valid: %v)",
+			cfg.DefaultMethod, costdist.MethodNames())
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:    cfg,
+		cache:  newResultCache(cfg.CacheBytes),
+		jobs:   newJobRegistry(),
+		met:    newMetrics(),
+		ctx:    ctx,
+		cancel: cancel,
+	}
+	s.pool = newPool(ctx, cfg.Shards, cfg.WorkersPerShard, cfg.QueueDepth)
+	s.routePool = newPool(ctx, 1, cfg.RouteWorkers, cfg.QueueDepth)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	s.mux.HandleFunc("POST /v1/route", s.handleRoute)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s, nil
+}
+
+// Handler returns the HTTP handler serving the API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// CacheStats exposes the result-cache counters (tests and operators).
+func (s *Server) CacheStats() CacheStats { return s.cache.Stats() }
+
+// Shutdown cancels every running job and queued task — the cancellation
+// propagates into RouteChipCtx between nets, so workers stop within one
+// solve latency — then waits for the workers to exit, bounded by ctx.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.cancel()
+	s.jobs.cancelAll()
+	done := make(chan struct{})
+	go func() {
+		s.pool.wait()
+		s.routePool.wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// --- request/response schemas ---
+
+// SolveOptions are the per-request solver knobs that participate in the
+// cache key. Unset fields take the library defaults.
+type SolveOptions struct {
+	// PDAlpha and SLEps parameterize the PD and SL baselines.
+	PDAlpha *float64 `json:"pd_alpha,omitempty"`
+	SLEps   *float64 `json:"sl_eps,omitempty"`
+}
+
+// SolveRequest is the POST /v1/solve body. A bare InstanceJSON document
+// (no "instance" key) is also accepted — the whole body is then the
+// instance and the method defaults to the server's DefaultMethod, so
+// the files under examples/instances can be POSTed as-is.
+type SolveRequest struct {
+	Method   string          `json:"method,omitempty"`
+	Options  SolveOptions    `json:"options,omitempty"`
+	Instance json.RawMessage `json:"instance,omitempty"`
+}
+
+// RouteRequest is the POST /v1/route body: a chip of the synthetic
+// suite plus routing options. Defaults: scale 0.01, the server's
+// default oracle, the library's default wave count, seed 1, one routing
+// thread per job (the pool provides the parallelism across jobs).
+type RouteRequest struct {
+	Chip        string  `json:"chip"`
+	Scale       float64 `json:"scale,omitempty"`
+	Oracle      string  `json:"oracle,omitempty"`
+	Waves       int     `json:"waves,omitempty"`
+	Seed        uint64  `json:"seed,omitempty"`
+	Threads     int     `json:"threads,omitempty"`
+	Incremental bool    `json:"incremental,omitempty"`
+}
+
+// JobView is the job status representation returned by the jobs
+// endpoints.
+type JobView struct {
+	ID     string    `json:"id"`
+	Status JobStatus `json:"status"`
+	Error  string    `json:"error,omitempty"`
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	if code >= 400 && code < 500 {
+		s.met.badRequests.Add(1)
+	}
+	writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// --- /v1/solve ---
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	var req SolveRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		s.httpError(w, http.StatusBadRequest, "parsing request: %v", err)
+		return
+	}
+	instanceDoc := []byte(req.Instance)
+	if req.Instance == nil {
+		instanceDoc = body // bare instance document
+	}
+	methodName := req.Method
+	if methodName == "" {
+		methodName = s.cfg.DefaultMethod
+	}
+	m, ok := costdist.MethodByName(methodName)
+	if !ok {
+		s.httpError(w, http.StatusUnprocessableEntity,
+			"unknown method %q (valid: %v)", methodName, costdist.MethodNames())
+		return
+	}
+	canonical, err := costdist.CanonicalInstanceJSON(instanceDoc)
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	var dims costdist.InstanceJSON
+	if err := json.Unmarshal(canonical, &dims); err != nil {
+		s.httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// Stepwise so the product cannot overflow int64 before the check.
+	plane := int64(dims.NX) * int64(dims.NY)
+	if dims.Layers < 2 || dims.Layers > 1024 || plane < 0 ||
+		plane > maxInstanceVertices || plane*int64(dims.Layers) > maxInstanceVertices {
+		s.httpError(w, http.StatusUnprocessableEntity,
+			"instance grid %d×%d×%d exceeds the service limit of %d vertices",
+			dims.NX, dims.NY, dims.Layers, maxInstanceVertices)
+		return
+	}
+
+	ropt := costdist.DefaultRouterOptions()
+	if req.Options.PDAlpha != nil {
+		ropt.PDAlpha = *req.Options.PDAlpha
+	}
+	if req.Options.SLEps != nil {
+		ropt.SLEps = *req.Options.SLEps
+	}
+	key := solveDigest(canonical, m, ropt)
+	if cached, ok := s.cache.Get(key); ok {
+		s.met.solveRequests.Add(1)
+		w.Header().Set("X-Cache", "hit")
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(cached)
+		s.met.solveLatency.Observe(time.Since(start).Seconds())
+		return
+	}
+
+	in, err := costdist.ParseInstance(canonical)
+	if err != nil {
+		s.httpError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	s.met.solveRequests.Add(1)
+
+	// Singleflight: the first requester of a key is the leader and
+	// solves; concurrent identical misses wait for the leader's channel
+	// and serve from cache, so a hot instance is never solved twice no
+	// matter how many workers a shard has.
+	flight := make(chan struct{})
+	if prev, loaded := s.inflight.LoadOrStore(key, flight); loaded {
+		select {
+		case <-prev.(chan struct{}):
+			if cached, ok := s.cache.Recheck(key); ok {
+				w.Header().Set("X-Cache", "hit")
+				w.Header().Set("Content-Type", "application/json")
+				_, _ = w.Write(cached)
+				s.met.solveLatency.Observe(time.Since(start).Seconds())
+				return
+			}
+			// The leader failed; solve ourselves, without holding a
+			// flight slot (errors are rare enough not to re-coordinate).
+			flight = nil
+		case <-r.Context().Done():
+			return
+		case <-s.ctx.Done():
+			s.httpError(w, http.StatusServiceUnavailable, "server shutting down")
+			return
+		}
+	}
+	release := func() {
+		if flight != nil {
+			s.inflight.Delete(key)
+			close(flight)
+		}
+	}
+
+	type outcome struct {
+		body   []byte
+		err    error
+		cached bool
+	}
+	done := make(chan outcome, 1)
+	submitted := s.pool.submit(shardKey(key), func(solver *costdist.Solver) {
+		defer release()
+		if cached, ok := s.cache.Recheck(key); ok {
+			done <- outcome{body: cached, cached: true}
+			return
+		}
+		tr, err := solver.Solve(in, m, ropt)
+		if err != nil {
+			done <- outcome{err: err}
+			return
+		}
+		out, err := costdist.MarshalTree(in, tr)
+		if err != nil {
+			done <- outcome{err: err}
+			return
+		}
+		s.cache.Put(key, out)
+		s.met.chargeOracle(m.Name(), 1)
+		done <- outcome{body: out}
+	})
+	if !submitted {
+		release()
+		s.met.queueRejects.Add(1)
+		s.httpError(w, http.StatusServiceUnavailable, "solve queue full")
+		return
+	}
+	select {
+	case o := <-done:
+		if o.err != nil {
+			s.httpError(w, http.StatusInternalServerError, "solve: %v", o.err)
+			return
+		}
+		if o.cached {
+			w.Header().Set("X-Cache", "hit")
+		} else {
+			w.Header().Set("X-Cache", "miss")
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(o.body)
+		s.met.solveLatency.Observe(time.Since(start).Seconds())
+	case <-r.Context().Done():
+		// Client gone; the worker still completes and fills the cache.
+	case <-s.ctx.Done():
+		s.httpError(w, http.StatusServiceUnavailable, "server shutting down")
+	}
+}
+
+// solveDigest is the content address of a solve: canonical instance
+// bytes, the resolved method, and every option that can change the
+// answer.
+func solveDigest(canonical []byte, m costdist.Method, ropt costdist.RouterOptions) string {
+	h := sha256.New()
+	h.Write(canonical)
+	fmt.Fprintf(h, "\x00%s\x00pd=%g;sl=%g", m.Name(), ropt.PDAlpha, ropt.SLEps)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func shardKey(digest string) uint64 {
+	b, err := hex.DecodeString(digest[:16])
+	if err != nil || len(b) < 8 {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+// --- /v1/route and jobs ---
+
+func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	var req RouteRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		s.httpError(w, http.StatusBadRequest, "parsing request: %v", err)
+		return
+	}
+	if req.Scale == 0 {
+		req.Scale = 0.01
+	}
+	if req.Scale < 0 || req.Scale > maxRouteScale ||
+		req.Waves < 0 || req.Waves > maxRouteWaves ||
+		req.Threads < 0 || req.Threads > maxRouteThreads {
+		s.httpError(w, http.StatusUnprocessableEntity,
+			"route request out of bounds (scale ≤ %g, waves ≤ %d, threads ≤ %d)",
+			maxRouteScale, maxRouteWaves, maxRouteThreads)
+		return
+	}
+	if req.Oracle == "" {
+		req.Oracle = s.cfg.DefaultMethod
+	}
+	m, ok := costdist.MethodByName(req.Oracle)
+	if !ok {
+		s.httpError(w, http.StatusUnprocessableEntity,
+			"unknown oracle %q (valid: %v)", req.Oracle, costdist.MethodNames())
+		return
+	}
+	req.Oracle = m.Name()
+	ropt := costdist.DefaultRouterOptions()
+	if req.Waves > 0 {
+		ropt.Waves = req.Waves
+	}
+	req.Waves = ropt.Waves
+	if req.Seed == 0 {
+		req.Seed = 1
+	}
+	ropt.Seed = req.Seed
+	if req.Threads <= 0 {
+		req.Threads = 1
+	}
+	ropt.Threads = req.Threads
+	ropt.Incremental = req.Incremental
+
+	spec, ok := costdist.ChipSpecByName(req.Chip, req.Scale)
+	if !ok {
+		specs := costdist.ChipSuite(req.Scale)
+		names := make([]string, len(specs))
+		for i := range specs {
+			names[i] = specs[i].Name
+		}
+		s.httpError(w, http.StatusUnprocessableEntity,
+			"unknown chip %q (valid: %v)", req.Chip, names)
+		return
+	}
+	s.met.routeRequests.Add(1)
+
+	// The resolved request is the route's content address: requests
+	// that normalize identically share one cached result. Threads is
+	// excluded — results are thread-count independent (locked by the
+	// route determinism tests), so it must not split the cache.
+	kreq := req
+	kreq.Threads = 0
+	resolved, _ := json.Marshal(kreq)
+	h := sha256.New()
+	h.Write([]byte("route\x00"))
+	h.Write(resolved)
+	key := hex.EncodeToString(h.Sum(nil))
+
+	jb := s.jobs.create(s.ctx)
+	if cached, ok := s.cache.Get(key); ok {
+		jb.finishShared(JobDone, cached, "")
+		w.Header().Set("X-Cache", "hit")
+		writeJSON(w, http.StatusAccepted, JobView{ID: jb.id, Status: JobDone})
+		return
+	}
+
+	// Identical route already in flight: follow it instead of burning a
+	// second worker on the same computation. The follower mirrors the
+	// leader's terminal outcome (a cancelled or failed leader fails the
+	// follower with a pointer to it; clients can resubmit). A leader
+	// that already ended without a result — cancelled while queued,
+	// failed — must not poison the key: take its slot over instead.
+	for {
+		lj, loaded := s.routeInflight.LoadOrStore(key, jb)
+		if !loaded {
+			break // we are the leader
+		}
+		leader := lj.(*job)
+		if st, _, _ := leader.view(); st.terminal() && st != JobDone {
+			if s.routeInflight.CompareAndSwap(key, lj, jb) {
+				break // took over from the dead leader
+			}
+			continue // someone else took it; re-examine
+		}
+		go func() {
+			select {
+			case <-leader.done:
+				st, res, errMsg := leader.view()
+				if st == JobDone {
+					jb.finishShared(JobDone, res, "")
+				} else {
+					jb.finish(JobFailed, nil,
+						fmt.Sprintf("deduplicated onto %s which ended %s: %s", leader.id, st, errMsg))
+				}
+			case <-jb.done: // cancelled independently of the leader
+			}
+		}()
+		w.Header().Set("X-Cache", "dedup")
+		writeJSON(w, http.StatusAccepted, JobView{ID: jb.id, Status: JobQueued})
+		return
+	}
+
+	fh := fnv.New64a()
+	fh.Write([]byte(jb.id))
+	submitted := s.routePool.submit(fh.Sum64(), func(*costdist.Solver) {
+		// Delete only our own entry — a dead-leader takeover may have
+		// already replaced it with a newer job.
+		defer s.routeInflight.CompareAndDelete(key, jb)
+		s.runRouteJob(jb, spec, m, ropt, key)
+	})
+	if !submitted {
+		// The client never learns this job id; drop the entry rather
+		// than leaving a phantom failed job in the registry gauges.
+		s.routeInflight.CompareAndDelete(key, jb)
+		jb.finish(JobCancelled, nil, "route queue full")
+		s.jobs.remove(jb.id)
+		s.met.queueRejects.Add(1)
+		s.httpError(w, http.StatusServiceUnavailable, "route queue full")
+		return
+	}
+	w.Header().Set("X-Cache", "miss")
+	writeJSON(w, http.StatusAccepted, JobView{ID: jb.id, Status: JobQueued})
+}
+
+// runRouteJob executes one route job on a pool worker. Route jobs route
+// through RouteChipCtx under the job context, so DELETE and shutdown
+// abort between per-net solves. The route job's own Threads (default 1)
+// stay inside this worker's slot; cross-request parallelism comes from
+// the pool.
+func (s *Server) runRouteJob(job *job, spec costdist.ChipSpec, m costdist.Method, ropt costdist.RouterOptions, key string) {
+	if st, _, _ := job.view(); st.terminal() {
+		return // cancelled while queued
+	}
+	// A prior leader for this key may have finished while we queued.
+	if cached, ok := s.cache.Recheck(key); ok {
+		job.finishShared(JobDone, cached, "")
+		return
+	}
+	job.setStatus(JobRunning)
+	start := time.Now()
+	fail := func(err error) {
+		if errors.Is(err, context.Canceled) || job.ctx.Err() != nil {
+			job.finish(JobCancelled, nil, context.Canceled.Error())
+			return
+		}
+		job.finish(JobFailed, nil, err.Error())
+	}
+	chip, err := costdist.GenerateChip(spec)
+	if err != nil {
+		fail(err)
+		return
+	}
+	if err := job.ctx.Err(); err != nil {
+		fail(err)
+		return
+	}
+	res, err := costdist.RouteChipCtx(job.ctx, chip, m, ropt)
+	if err != nil {
+		fail(err)
+		return
+	}
+	out, err := costdist.MarshalRouteResult(chip, res)
+	if err != nil {
+		fail(err)
+		return
+	}
+	s.cache.Put(key, out)
+	for name, n := range res.Metrics.SolvesByOracle {
+		s.met.chargeOracle(name, n)
+	}
+	s.met.jobLatency.Observe(time.Since(start).Seconds())
+	job.finish(JobDone, out, "")
+}
+
+func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		s.httpError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	st, _, errMsg := job.view()
+	writeJSON(w, http.StatusOK, JobView{ID: job.id, Status: st, Error: errMsg})
+}
+
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		s.httpError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	st, result, errMsg := job.view()
+	switch st {
+	case JobDone:
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(result)
+	case JobFailed:
+		s.httpError(w, http.StatusInternalServerError, "job failed: %s", errMsg)
+	case JobCancelled:
+		writeJSON(w, http.StatusConflict, JobView{ID: job.id, Status: st, Error: errMsg})
+	default:
+		writeJSON(w, http.StatusAccepted, JobView{ID: job.id, Status: st})
+	}
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		s.httpError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	// Cancel the context (stops a running route between nets) and run
+	// the terminal transition; if the job already finished, finish is a
+	// no-op and the response reports the real final status.
+	job.cancel()
+	job.finish(JobCancelled, nil, "cancelled by client")
+	st, _, errMsg := job.view()
+	writeJSON(w, http.StatusOK, JobView{ID: job.id, Status: st, Error: errMsg})
+}
+
+// --- health + metrics ---
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":      "ok",
+		"queue_depth": s.pool.depth() + s.routePool.depth(),
+		"jobs":        s.jobs.statusCounts(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_, _ = io.WriteString(w, renderMetrics(s.met, s.cache.Stats(),
+		s.pool.depth()+s.routePool.depth(), s.jobs.statusCounts()))
+}

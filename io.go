@@ -43,6 +43,23 @@ type InstanceJSON struct {
 	} `json:"congestion,omitempty"`
 }
 
+// normalize applies the documented defaults in place: omitted eta means
+// 0.25, an omitted or non-positive margin means 8, and every negative
+// dbif spells "derive from the technology". ParseInstance and
+// CanonicalInstanceJSON share this single helper so the canonical
+// content address can never drift from the parse semantics.
+func (f *InstanceJSON) normalize() {
+	if f.Eta == 0 {
+		f.Eta = 0.25
+	}
+	if f.Margin <= 0 {
+		f.Margin = 8
+	}
+	if f.DBif < 0 {
+		f.DBif = -1
+	}
+}
+
 // ParseInstance decodes an InstanceJSON document into a solvable
 // Instance backed by the default technology.
 func ParseInstance(data []byte) (*Instance, error) {
@@ -50,6 +67,7 @@ func ParseInstance(data []byte) (*Instance, error) {
 	if err := json.Unmarshal(data, &f); err != nil {
 		return nil, fmt.Errorf("costdist: parsing instance: %w", err)
 	}
+	f.normalize()
 	if f.NX < 2 || f.NY < 2 || f.Layers < 2 {
 		return nil, fmt.Errorf("costdist: instance needs nx,ny ≥ 2 and layers ≥ 2")
 	}
@@ -69,14 +87,10 @@ func ParseInstance(data []byte) (*Instance, error) {
 	if dbif < 0 {
 		dbif = tech.Dbif()
 	}
-	eta := f.Eta
-	if eta == 0 {
-		eta = 0.25
-	}
 	in := &Instance{
 		G: g, C: c,
 		Root: g.At(f.Root[0], f.Root[1], f.Root[2]),
-		DBif: dbif, Eta: eta, Seed: f.Seed,
+		DBif: dbif, Eta: f.Eta, Seed: f.Seed,
 	}
 	for i, s := range f.Sinks {
 		if err := inBounds(s.X, s.Y, s.L); err != nil {
@@ -87,11 +101,7 @@ func ParseInstance(data []byte) (*Instance, error) {
 	for _, r := range f.Congestion {
 		applyCongestion(g, c, r.L, r.X0, r.Y0, r.X1, r.Y1, r.Mult)
 	}
-	margin := f.Margin
-	if margin <= 0 {
-		margin = 8
-	}
-	in.Win = in.DefaultWindow(margin)
+	in.Win = in.DefaultWindow(f.Margin)
 	return in, nil
 }
 
@@ -113,6 +123,25 @@ func applyCongestion(g *grid.Graph, c *grid.Costs, l, x0, y0, x1, y1 int32, mult
 			}
 		}
 	}
+}
+
+// CanonicalInstanceJSON re-emits an InstanceJSON document in canonical
+// compact form: fixed key order (the struct's), no insignificant
+// whitespace, and the defaulted fields normalized by the same
+// InstanceJSON.normalize helper ParseInstance uses — so every
+// "derive/default" spelling ParseInstance treats identically
+// canonicalizes identically. Two documents that ParseInstance maps to
+// the same instance and seed canonicalize to the same bytes, which
+// makes the canonical form a content address: the service layer keys
+// its result cache on a digest of these bytes so formatting and key
+// order never defeat caching.
+func CanonicalInstanceJSON(data []byte) ([]byte, error) {
+	var f InstanceJSON
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("costdist: parsing instance: %w", err)
+	}
+	f.normalize()
+	return json.Marshal(&f)
 }
 
 // TreeJSON is the serialized form of a solved tree, emitted by
@@ -144,12 +173,7 @@ func MarshalTree(in *Instance, tr *Tree) ([]byte, error) {
 		Total: ev.Total, CongCost: ev.CongCost, DelayCost: ev.DelayCost,
 		SinkDelay: ev.SinkDelay, WireSteps: ev.WireSteps, Vias: ev.Vias,
 	}
-	for _, st := range tr.Steps {
-		fx, fy, fl := in.G.XYL(st.From)
-		tx, ty, tl := in.G.XYL(st.Arc.To)
-		out.Edges = append(out.Edges, [2][3]int32{{fx, fy, fl}, {tx, ty, tl}})
-		out.WireTypes = append(out.WireTypes, st.Arc.WT)
-	}
+	out.Edges, out.WireTypes = encodeTreeSteps(in.G, tr)
 	return json.MarshalIndent(out, "", "  ")
 }
 
@@ -162,12 +186,32 @@ func UnmarshalTree(in *Instance, data []byte) (*Tree, error) {
 	if err := json.Unmarshal(data, &f); err != nil {
 		return nil, fmt.Errorf("costdist: parsing tree: %w", err)
 	}
-	if f.WireTypes != nil && len(f.WireTypes) != len(f.Edges) {
-		return nil, fmt.Errorf("costdist: %d wire types for %d edges", len(f.WireTypes), len(f.Edges))
+	return decodeTreeSteps(in.G, f.Edges, f.WireTypes)
+}
+
+// encodeTreeSteps flattens a tree into the wire format shared by
+// TreeJSON and RouteResultJSON: endpoint coordinates plus the wire type
+// of each edge (-1 for vias).
+func encodeTreeSteps(g *grid.Graph, tr *Tree) (edges [][2][3]int32, wts []int8) {
+	for _, st := range tr.Steps {
+		fx, fy, fl := g.XYL(st.From)
+		tx, ty, tl := g.XYL(st.Arc.To)
+		edges = append(edges, [2][3]int32{{fx, fy, fl}, {tx, ty, tl}})
+		wts = append(wts, st.Arc.WT)
 	}
-	g := in.G
+	return edges, wts
+}
+
+// decodeTreeSteps rebuilds embedded tree steps from the wire format,
+// validating adjacency, direction legality and wire-type ranges against
+// the graph. wts == nil assumes type 0 everywhere (pre-wire-type
+// documents).
+func decodeTreeSteps(g *grid.Graph, edges [][2][3]int32, wts []int8) (*Tree, error) {
+	if wts != nil && len(wts) != len(edges) {
+		return nil, fmt.Errorf("costdist: %d wire types for %d edges", len(wts), len(edges))
+	}
 	tr := &Tree{}
-	for i, e := range f.Edges {
+	for i, e := range edges {
 		u, err := vertexAt(g, e[0])
 		if err != nil {
 			return nil, fmt.Errorf("edge %d: %w", i, err)
@@ -195,13 +239,13 @@ func UnmarshalTree(in *Instance, data []byte) (*Tree, error) {
 		if via {
 			arc.L = int8(min32(e[0][2], e[1][2]))
 			arc.WT = -1
-			if f.WireTypes != nil && f.WireTypes[i] != -1 {
-				return nil, fmt.Errorf("costdist: edge %d is a via but has wire type %d", i, f.WireTypes[i])
+			if wts != nil && wts[i] != -1 {
+				return nil, fmt.Errorf("costdist: edge %d is a via but has wire type %d", i, wts[i])
 			}
 		} else {
 			arc.L = int8(e[0][2])
-			if f.WireTypes != nil {
-				arc.WT = f.WireTypes[i]
+			if wts != nil {
+				arc.WT = wts[i]
 			}
 			if arc.WT < 0 || int(arc.WT) >= len(g.Layers[arc.L].Wires) {
 				return nil, fmt.Errorf("costdist: edge %d wire type %d out of range on layer %d", i, arc.WT, arc.L)
@@ -210,6 +254,110 @@ func UnmarshalTree(in *Instance, data []byte) (*Tree, error) {
 		tr.Steps = append(tr.Steps, Step{From: u, Arc: arc})
 	}
 	return tr, nil
+}
+
+// RouteTreeJSON is one net's embedded tree inside a RouteResultJSON
+// document, using the same edge/wire-type encoding as TreeJSON.
+type RouteTreeJSON struct {
+	Edges     [][2][3]int32 `json:"edges"`
+	WireTypes []int8        `json:"wire_types,omitempty"`
+}
+
+// RouteMetricsJSON is the serialized RouteMetrics. Walltime is
+// deliberately absent: it is the one nondeterministic field, and
+// dropping it keeps MarshalRouteResult a pure function of the routing
+// outcome — required for the service layer's content-addressed result
+// cache and its byte-identity guarantees.
+type RouteMetricsJSON struct {
+	WS               float64          `json:"ws_ps"`
+	TNS              float64          `json:"tns_ps"`
+	ACE4             float64          `json:"ace4_pct"`
+	WLm              float64          `json:"wirelength_m"`
+	Vias             int64            `json:"vias"`
+	Overflow         float64          `json:"overflow"`
+	Objective        float64          `json:"objective"`
+	NetsSolved       int64            `json:"nets_solved"`
+	NetsSkipped      int64            `json:"nets_skipped"`
+	SolvedPerWave    []int            `json:"solved_per_wave,omitempty"`
+	SkippedPerWave   []int            `json:"skipped_per_wave,omitempty"`
+	DeltaSegsPerWave []int            `json:"delta_segs_per_wave,omitempty"`
+	SolvesByOracle   map[string]int64 `json:"solves_by_oracle,omitempty"`
+}
+
+// RouteResultJSON is the on-wire form of a full routing run: the
+// metric row plus every net's final embedded tree (null for nets the
+// run never routed), indexed like the chip's netlist.
+type RouteResultJSON struct {
+	Metrics RouteMetricsJSON `json:"metrics"`
+	Trees   []*RouteTreeJSON `json:"trees"`
+}
+
+// MarshalRouteResult serializes a routing result against the chip it
+// was produced on. The output is deterministic for a deterministic run
+// (map keys sort, Walltime is excluded), so identical route requests
+// marshal to identical bytes.
+func MarshalRouteResult(chip *Chip, res *RouteResult) ([]byte, error) {
+	if res == nil {
+		return nil, fmt.Errorf("costdist: nil route result")
+	}
+	mt := res.Metrics
+	out := RouteResultJSON{
+		Metrics: RouteMetricsJSON{
+			WS: mt.WS, TNS: mt.TNS, ACE4: mt.ACE4, WLm: mt.WLm,
+			Vias: mt.Vias, Overflow: mt.Overflow, Objective: mt.Objective,
+			NetsSolved: mt.NetsSolved, NetsSkipped: mt.NetsSkipped,
+			SolvedPerWave:    mt.SolvedPerWave,
+			SkippedPerWave:   mt.SkippedPerWave,
+			DeltaSegsPerWave: mt.DeltaSegsPerWave,
+			SolvesByOracle:   mt.SolvesByOracle,
+		},
+		Trees: make([]*RouteTreeJSON, len(res.Trees)),
+	}
+	for i, tr := range res.Trees {
+		if tr == nil {
+			continue
+		}
+		tj := &RouteTreeJSON{}
+		tj.Edges, tj.WireTypes = encodeTreeSteps(chip.G, tr)
+		out.Trees[i] = tj
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// UnmarshalRouteResult decodes a RouteResultJSON document back into a
+// RouteResult on the chip's graph — the inverse of MarshalRouteResult
+// (Walltime, which is not serialized, comes back zero). Every tree is
+// validated against the graph exactly like UnmarshalTree.
+func UnmarshalRouteResult(chip *Chip, data []byte) (*RouteResult, error) {
+	var f RouteResultJSON
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("costdist: parsing route result: %w", err)
+	}
+	res := &RouteResult{}
+	res.Metrics = RouteMetrics{
+		WS: f.Metrics.WS, TNS: f.Metrics.TNS, ACE4: f.Metrics.ACE4,
+		WLm: f.Metrics.WLm, Vias: f.Metrics.Vias,
+		Overflow: f.Metrics.Overflow, Objective: f.Metrics.Objective,
+		NetsSolved: f.Metrics.NetsSolved, NetsSkipped: f.Metrics.NetsSkipped,
+		SolvedPerWave:    f.Metrics.SolvedPerWave,
+		SkippedPerWave:   f.Metrics.SkippedPerWave,
+		DeltaSegsPerWave: f.Metrics.DeltaSegsPerWave,
+		SolvesByOracle:   f.Metrics.SolvesByOracle,
+	}
+	if len(f.Trees) > 0 {
+		res.Trees = make([]*Tree, len(f.Trees))
+		for i, tj := range f.Trees {
+			if tj == nil {
+				continue
+			}
+			tr, err := decodeTreeSteps(chip.G, tj.Edges, tj.WireTypes)
+			if err != nil {
+				return nil, fmt.Errorf("net %d: %w", i, err)
+			}
+			res.Trees[i] = tr
+		}
+	}
+	return res, nil
 }
 
 func vertexAt(g *grid.Graph, p [3]int32) (grid.V, error) {
