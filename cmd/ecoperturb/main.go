@@ -1,0 +1,176 @@
+// Command ecoperturb is the end-to-end smoke probe for warm-started
+// rerouting through the service: it routes a chip, resubmits the same
+// chip with a small ECO perturbation warm-started from the first job
+// (base_job), and asserts the warm run actually reused cached work
+// (NetsSkipped > 0) at fewer oracle solves than the cold run.
+//
+// By default it spins an in-process server (no network setup needed —
+// this is what the CI smoke step runs); -url points it at an external
+// routed instance instead.
+//
+// Usage:
+//
+//	ecoperturb [-chip c1] [-scale 0.02] [-waves 2] [-frac 0.05] [-seed 9] [-url http://host:8423]
+//
+// Exit status: 0 on success, 1 when the warm-start assertion fails or
+// a request errors, 2 on bad flags.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"time"
+
+	"costdist"
+	"costdist/internal/cliutil"
+	"costdist/internal/service"
+)
+
+type jobView struct {
+	ID     string `json:"id"`
+	Status string `json:"status"`
+	Error  string `json:"error,omitempty"`
+}
+
+func main() {
+	url := flag.String("url", "", "routed base URL (empty = run an in-process server)")
+	chip := flag.String("chip", "c1", "chip name c1..c8")
+	scale := flag.Float64("scale", 0.02, "net count scale vs the paper")
+	waves := flag.Int("waves", 2, "rip-up-and-reroute waves")
+	frac := flag.Float64("frac", 0.05, "fraction of nets to perturb (at least one net)")
+	seed := flag.Uint64("seed", 9, "perturbation seed")
+	timeout := flag.Duration("timeout", 3*time.Minute, "per-job poll deadline")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		cliutil.FatalUsage("ecoperturb", fmt.Errorf("unexpected arguments: %v", flag.Args()))
+	}
+	if *frac <= 0 || *frac > 1 {
+		cliutil.FatalUsage("ecoperturb", fmt.Errorf("-frac %g outside (0,1]", *frac))
+	}
+
+	base := *url
+	if base == "" {
+		srv, err := service.New(service.Config{})
+		if err != nil {
+			cliutil.Fatal("ecoperturb", err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		defer func() {
+			ts.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			_ = srv.Shutdown(ctx)
+		}()
+		base = ts.URL
+		fmt.Printf("ecoperturb: in-process server at %s\n", base)
+	}
+
+	coldReq := fmt.Sprintf(`{"chip":%q,"scale":%g,"waves":%d}`, *chip, *scale, *waves)
+	coldID, err := submit(base, coldReq)
+	if err != nil {
+		cliutil.Fatal("ecoperturb", fmt.Errorf("cold submit: %w", err))
+	}
+	coldMetrics, err := await(base, coldID, *timeout)
+	if err != nil {
+		cliutil.Fatal("ecoperturb", fmt.Errorf("cold job %s: %w", coldID, err))
+	}
+	fmt.Printf("ecoperturb: cold %s done — %d solves, objective %.4g\n",
+		coldID, coldMetrics.NetsSolved, coldMetrics.Objective)
+
+	warmReq := fmt.Sprintf(`{"chip":%q,"scale":%g,"waves":%d,"base_job":%q,"perturb_frac":%g,"perturb_seed":%d}`,
+		*chip, *scale, *waves, coldID, *frac, *seed)
+	warmID, err := submit(base, warmReq)
+	if err != nil {
+		cliutil.Fatal("ecoperturb", fmt.Errorf("warm submit: %w", err))
+	}
+	warmMetrics, err := await(base, warmID, *timeout)
+	if err != nil {
+		cliutil.Fatal("ecoperturb", fmt.Errorf("warm job %s: %w", warmID, err))
+	}
+	fmt.Printf("ecoperturb: warm %s done — %d solves, %d skipped, objective %.4g\n",
+		warmID, warmMetrics.NetsSolved, warmMetrics.NetsSkipped, warmMetrics.Objective)
+
+	if warmMetrics.NetsSkipped == 0 {
+		cliutil.Fatal("ecoperturb", fmt.Errorf("warm start skipped no nets — checkpoint was not reused"))
+	}
+	if warmMetrics.NetsSolved >= coldMetrics.NetsSolved {
+		cliutil.Fatal("ecoperturb", fmt.Errorf("warm start solved %d nets, cold solved %d — no work saved",
+			warmMetrics.NetsSolved, coldMetrics.NetsSolved))
+	}
+	fmt.Printf("ecoperturb: OK — warm start reused %d net-waves (%.1f%% of cold solves avoided)\n",
+		warmMetrics.NetsSkipped,
+		100*(1-float64(warmMetrics.NetsSolved)/float64(coldMetrics.NetsSolved)))
+}
+
+// submit posts a route request and returns the job id.
+func submit(base, body string) (string, error) {
+	resp, err := http.Post(base+"/v1/route", "application/json", strings.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return "", fmt.Errorf("status %d: %s", resp.StatusCode, b)
+	}
+	var jv jobView
+	if err := json.Unmarshal(b, &jv); err != nil {
+		return "", err
+	}
+	if jv.ID == "" {
+		return "", fmt.Errorf("no job id in %s", b)
+	}
+	return jv.ID, nil
+}
+
+// await polls the job to completion and returns its result metrics.
+func await(base, id string, timeout time.Duration) (*costdist.RouteMetricsJSON, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := http.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			return nil, err
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		var jv jobView
+		if err := json.Unmarshal(b, &jv); err != nil {
+			return nil, err
+		}
+		switch jv.Status {
+		case "done":
+			return fetchMetrics(base, id)
+		case "failed", "cancelled":
+			return nil, fmt.Errorf("job ended %s: %s", jv.Status, jv.Error)
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("timed out in status %s", jv.Status)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func fetchMetrics(base, id string) (*costdist.RouteMetricsJSON, error) {
+	resp, err := http.Get(base + "/v1/jobs/" + id + "/result")
+	if err != nil {
+		return nil, err
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("result status %d: %s", resp.StatusCode, b)
+	}
+	var out struct {
+		Metrics costdist.RouteMetricsJSON `json:"metrics"`
+	}
+	if err := json.Unmarshal(b, &out); err != nil {
+		return nil, err
+	}
+	return &out.Metrics, nil
+}

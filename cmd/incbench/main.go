@@ -9,10 +9,19 @@
 // BENCH_selection.json. The headline numbers there are the CD-oracle
 // solve reduction of Auto and the objective deltas of both drivers.
 //
+// With -eco it benchmarks checkpointed warm-start rerouting: route the
+// chip cold and checkpoint it, perturb a fraction of its nets
+// (ECO-style), then route the perturbed chip both cold and warm-started
+// from the checkpoint, writing BENCH_warmstart.json. The headline
+// numbers are the warm run's solve fraction and walltime speedup
+// against the cold reroute, and the warm-vs-cold objective delta on the
+// same perturbed chip.
+//
 // Usage:
 //
 //	incbench -chip c1 -scale 0.25 [-waves 4] [-workers 0] [-out BENCH_incremental.json]
 //	incbench -selection -chip c1 -scale 0.25 [-waves 4] [-out BENCH_selection.json]
+//	incbench -eco -chip c1 -scale 0.25 [-waves 4] [-perturb 0.05] [-out BENCH_warmstart.json]
 package main
 
 import (
@@ -80,12 +89,18 @@ func main() {
 	workers := flag.Int("workers", 0, "routing workers (0 = all cores)")
 	selection := flag.Bool("selection", false, "benchmark oracle drivers (pure CD vs auto vs portfolio) instead of the incremental engine")
 	portfolioPool := flag.String("portfolio-pool", "", "comma-separated oracle pool for the portfolio leg (empty = every registered oracle)")
-	out := flag.String("out", "", "output file (default BENCH_incremental.json, or BENCH_selection.json with -selection)")
+	eco := flag.Bool("eco", false, "benchmark checkpointed warm-start rerouting on a perturbed chip instead of the incremental engine")
+	perturb := flag.Float64("perturb", 0.05, "fraction of nets to perturb in the ECO scenario")
+	perturbSeed := flag.Uint64("perturb-seed", 9, "perturbation seed of the ECO scenario")
+	out := flag.String("out", "", "output file (default BENCH_incremental.json, BENCH_selection.json with -selection, BENCH_warmstart.json with -eco)")
 	flag.Parse()
 	if *out == "" {
-		if *selection {
+		switch {
+		case *selection:
 			*out = "BENCH_selection.json"
-		} else {
+		case *eco:
+			*out = "BENCH_warmstart.json"
+		default:
 			*out = "BENCH_incremental.json"
 		}
 	}
@@ -115,6 +130,10 @@ func main() {
 			opt.Selection.Portfolio = strings.Split(*portfolioPool, ",")
 		}
 		runSelection(chip, spec, *scale, opt, *out)
+		return
+	}
+	if *eco {
+		runECO(chip, spec, *scale, *perturb, *perturbSeed, opt, *out)
 		return
 	}
 
@@ -299,6 +318,105 @@ func runSelection(chip *costdist.Chip, spec *costdist.ChipSpec, scale float64, o
 	fmt.Printf("auto: CD solves -%.1f%%  objective %+.2f%%  speedup %.2fx\nportfolio: objective %+.2f%%  slowdown %.2fx\n",
 		rep.CDSolveReduction, rep.AutoObjectiveDelta, rep.AutoWalltimeSpeedup,
 		rep.PortfolioObjDelta, rep.PortfolioWalltimeSlow)
+}
+
+// ecoReportJSON is the BENCH_warmstart.json schema: the base (cold,
+// unperturbed) run that produced the checkpoint, then the cold and the
+// warm-started run on the identical perturbed chip.
+type ecoReportJSON struct {
+	Date          string  `json:"date"`
+	Go            string  `json:"go"`
+	CPUs          int     `json:"cpus"`
+	Chip          string  `json:"chip"`
+	Scale         float64 `json:"scale"`
+	Nets          int     `json:"nets"`
+	Waves         int     `json:"waves"`
+	PerturbFrac   float64 `json:"perturb_frac"`
+	PerturbedNets int     `json:"perturbed_nets"`
+	CheckpointKB  int64   `json:"checkpoint_kb"`
+	Base          runJSON `json:"base"`
+	ColdPerturbed runJSON `json:"cold_perturbed"`
+	WarmPerturbed runJSON `json:"warm_perturbed"`
+	// WarmSolveFraction is warm solves / cold solves on the perturbed
+	// chip; WarmNetFraction is warm solves / (nets × waves).
+	WarmSolveFraction float64 `json:"warm_solve_fraction_pct"`
+	WarmNetFraction   float64 `json:"warm_net_fraction_pct"`
+	// ObjectiveDelta is (warm − cold)/cold on the perturbed chip, in
+	// percent; negative means the warm start ends better.
+	ObjectiveDelta  float64 `json:"objective_delta_pct"`
+	WalltimeSpeedup float64 `json:"walltime_speedup"`
+}
+
+// runECO benchmarks warm-start rerouting: checkpoint a cold route, then
+// reroute an ECO-perturbed copy of the chip cold and warm.
+func runECO(chip *costdist.Chip, spec *costdist.ChipSpec, scale, frac float64, seed uint64, opt costdist.RouterOptions, out string) {
+	fmt.Fprintf(os.Stderr, "incbench: eco on %s scale %g — %d nets, %d waves, perturb %g\n",
+		spec.Name, scale, len(chip.NL.Nets), opt.Waves, frac)
+	base, st, err := costdist.RouteChipCheckpoint(chip, costdist.CD, opt)
+	if err != nil {
+		fatal(err)
+	}
+	blob, err := costdist.MarshalCheckpoint(st)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "incbench: base done in %s — checkpoint %d KB\n",
+		base.Metrics.Walltime.Round(time.Millisecond), len(blob)>>10)
+
+	pert, changed, err := costdist.PerturbChip(chip, frac, seed)
+	if err != nil {
+		fatal(err)
+	}
+	cold, err := costdist.RouteChip(pert, costdist.CD, opt)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "incbench: cold reroute done in %s\n", cold.Metrics.Walltime.Round(time.Millisecond))
+	// Warm-start from the wire form — the path the service takes — so
+	// the benchmark covers the codec too.
+	st2, err := costdist.UnmarshalCheckpoint(blob)
+	if err != nil {
+		fatal(err)
+	}
+	warm, _, err := costdist.RouteChipFrom(st2, pert, costdist.CD, opt)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "incbench: warm reroute done in %s\n", warm.Metrics.Walltime.Round(time.Millisecond))
+
+	rep := ecoReportJSON{
+		Date:          time.Now().Format("2006-01-02"),
+		Go:            runtime.Version(),
+		CPUs:          runtime.NumCPU(),
+		Chip:          spec.Name,
+		Scale:         scale,
+		Nets:          len(chip.NL.Nets),
+		Waves:         opt.Waves,
+		PerturbFrac:   frac,
+		PerturbedNets: changed,
+		CheckpointKB:  int64(len(blob)) >> 10,
+		Base:          toRun(base.Metrics, false),
+		ColdPerturbed: toRun(cold.Metrics, false),
+		WarmPerturbed: toRun(warm.Metrics, true),
+		WarmSolveFraction: 100 * float64(warm.Metrics.NetsSolved) /
+			float64(cold.Metrics.NetsSolved),
+		WarmNetFraction: 100 * float64(warm.Metrics.NetsSolved) /
+			float64(int64(len(chip.NL.Nets))*int64(opt.Waves)),
+		ObjectiveDelta: 100 * (warm.Metrics.Objective - cold.Metrics.Objective) /
+			cold.Metrics.Objective,
+		WalltimeSpeedup: float64(cold.Metrics.Walltime) / float64(warm.Metrics.Walltime),
+	}
+	blobOut, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	blobOut = append(blobOut, '\n')
+	if err := os.WriteFile(out, blobOut, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("eco: %d/%d nets perturbed  warm solves %.1f%% of cold (%.1f%% of net-waves)  objective %+.2f%%  speedup %.2fx\n",
+		changed, len(chip.NL.Nets), rep.WarmSolveFraction, rep.WarmNetFraction,
+		rep.ObjectiveDelta, rep.WalltimeSpeedup)
 }
 
 func fatal(err error) {

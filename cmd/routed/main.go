@@ -33,6 +33,7 @@ func main() {
 	workers := flag.Int("workers", 1, "solver workers per shard, one scratch arena each")
 	queue := flag.Int("queue", 128, "bounded task queue depth per shard (full queues answer 503)")
 	cacheMB := flag.Int("cache-mb", 64, "result cache byte budget in MiB (0 disables caching)")
+	checkpointMB := flag.Int("checkpoint-mb", 128, "warm-start checkpoint store byte budget in MiB (0 disables base_job warm starts)")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		cliutil.FatalUsage("routed", fmt.Errorf("unexpected arguments: %v", flag.Args()))
@@ -43,11 +44,16 @@ func main() {
 	if *cacheMB <= 0 {
 		cacheBytes = -1
 	}
+	checkpointBytes := int64(*checkpointMB) << 20
+	if *checkpointMB <= 0 {
+		checkpointBytes = -1
+	}
 	srv, err := service.New(service.Config{
 		Shards:          *shards,
 		WorkersPerShard: *workers,
 		QueueDepth:      *queue,
 		CacheBytes:      cacheBytes,
+		CheckpointBytes: checkpointBytes,
 		DefaultMethod:   *oracleName,
 	})
 	if err != nil {

@@ -33,7 +33,16 @@
 //     picks an oracle per net from its timing criticality
 //     (RouterOptions.Selection), and the Portfolio driver races several
 //     oracles per net and keeps the best-priced tree. Per-oracle solve
-//     counts are reported in RouteMetrics.SolvesByOracle.
+//     counts are reported in RouteMetrics.SolvesByOracle;
+//   - externalized router state and warm-started rerouting:
+//     RouteChipCheckpoint returns the run's RouterState (cached trees
+//     with solve snapshots, congestion multipliers, timing state),
+//     MarshalCheckpoint/UnmarshalCheckpoint give it a versioned
+//     byte-stable wire form, and RouteChipFrom diffs a new chip
+//     against a checkpoint (moved pins, added/removed nets, capacity
+//     edits — see PerturbChip for ECO-style perturbations) and
+//     re-solves only the invalidated nets. An unperturbed warm start
+//     solves nothing and reproduces the cold result exactly.
 //
 // Everything is deterministic given explicit seeds and uses only the
 // standard library.
@@ -95,6 +104,16 @@ type (
 	RouterOptions    = router.Options
 	RouteMetrics     = router.Metrics
 	RouteResult      = router.Result
+
+	// RouterState is the externalized state of a routing run — cached
+	// trees with their solve snapshots, congestion multipliers, timing
+	// state — produced by RouteChipCheckpoint and consumed by
+	// RouteChipFrom for ECO-style warm-started rerouting.
+	// RouterNetState is its per-net entry; PinSig the terminal
+	// signature nets are diffed by.
+	RouterState    = router.State
+	RouterNetState = router.NetState
+	PinSig         = nets.PinSig
 
 	// Chip is a generated design; ChipSpec its parameters; Tech the
 	// electrical technology behind the delay model.
@@ -205,6 +224,46 @@ func RouteChip(chip *Chip, m Method, opt RouterOptions) (*RouteResult, error) {
 // latency. The non-cancelled path is bit-identical to RouteChip.
 func RouteChipCtx(ctx context.Context, chip *Chip, m Method, opt RouterOptions) (*RouteResult, error) {
 	return router.RouteCtx(ctx, chip, m, opt)
+}
+
+// RouteChipCheckpoint is RouteChip returning, alongside the result, the
+// run's externalized state: a RouterState that RouteChipFrom can
+// warm-start from, and that MarshalCheckpoint serializes. The routing
+// result is bit-identical to RouteChip.
+func RouteChipCheckpoint(chip *Chip, m Method, opt RouterOptions) (*RouteResult, *RouterState, error) {
+	return router.RouteCheckpoint(context.Background(), chip, m, opt)
+}
+
+// RouteChipCtxCheckpoint is RouteChipCheckpoint with cancellation.
+func RouteChipCtxCheckpoint(ctx context.Context, chip *Chip, m Method, opt RouterOptions) (*RouteResult, *RouterState, error) {
+	return router.RouteCheckpoint(ctx, chip, m, opt)
+}
+
+// RouteChipFrom warm-starts routing on chip from a previous run's
+// checkpoint: the chip is diffed against the state (moved, added or
+// re-pinned nets; capacity edits), only the invalidated nets are
+// re-solved in the first wave, and later waves run the ordinary
+// incremental dirty-net scheduler under the restored congestion and
+// timing prices. An unperturbed warm start re-solves nothing and
+// reproduces the checkpointed result exactly. The returned state is
+// the new run's checkpoint, so ECO chains compose.
+func RouteChipFrom(st *RouterState, chip *Chip, m Method, opt RouterOptions) (*RouteResult, *RouterState, error) {
+	return router.RouteFrom(context.Background(), st, chip, m, opt)
+}
+
+// RouteChipCtxFrom is RouteChipFrom with cancellation.
+func RouteChipCtxFrom(ctx context.Context, st *RouterState, chip *Chip, m Method, opt RouterOptions) (*RouteResult, *RouterState, error) {
+	return router.RouteFrom(ctx, st, chip, m, opt)
+}
+
+// PerturbChip returns an ECO-style variant of a chip with roughly frac
+// of its nets perturbed (one sink cell each nudged a few gcells; at
+// least one net for any frac > 0), plus the number of nets whose pin
+// signature changed. The original chip is never modified, and the
+// perturbed chip shares its grid — warm-start compatible with
+// checkpoints of the original.
+func PerturbChip(chip *Chip, frac float64, seed uint64) (*Chip, int, error) {
+	return chipgen.Perturb(chip, frac, seed)
 }
 
 // ChipSuite returns the c1..c8 specs of Table III with net counts

@@ -1,0 +1,96 @@
+package chipgen
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"costdist/internal/sta"
+)
+
+// Perturb returns an ECO-style variant of a chip: roughly frac of its
+// nets are perturbed by nudging one of their sink cells a few gcells,
+// modeling an engineering change order that re-places a handful of
+// cells after a full route. At least one net is perturbed for any
+// frac > 0. The routing grid, technology and clock are shared with the
+// original (capacities are untouched), so the perturbed chip is
+// warm-start compatible with checkpoints of the original; the input
+// chip itself is never modified.
+//
+// Because cells are shared between nets, moving one sink cell also
+// moves every other net that drives or reads it — exactly the blast
+// radius a real ECO has. The second return value counts the nets whose
+// pin signature changed.
+func Perturb(c *Chip, frac float64, seed uint64) (*Chip, int, error) {
+	if frac < 0 || frac > 1 {
+		return nil, 0, fmt.Errorf("chipgen: perturbation fraction %g outside [0,1]", frac)
+	}
+	nNets := len(c.NL.Nets)
+	nPick := int(frac * float64(nNets))
+	if frac > 0 && nPick < 1 {
+		nPick = 1
+	}
+
+	// Deep-copy the netlist; everything else on the chip is immutable
+	// under perturbation and stays shared.
+	nl := &sta.Netlist{
+		Cells: append([]sta.Cell(nil), c.NL.Cells...),
+		Nets:  make([]sta.Net, nNets),
+	}
+	for ni, n := range c.NL.Nets {
+		nl.Nets[ni] = sta.Net{Driver: n.Driver, Sinks: append([]int32(nil), n.Sinks...)}
+	}
+	out := &Chip{
+		Spec: c.Spec, G: c.G, Tech: c.Tech, NL: nl,
+		ClkPeriod: c.ClkPeriod, DBif: c.DBif,
+	}
+	if nPick == 0 {
+		return out, 0, nil
+	}
+
+	rng := rand.New(rand.NewPCG(seed, 0xEC0))
+	moved := make(map[int32]bool)
+	for _, ni := range rng.Perm(nNets)[:nPick] {
+		n := nl.Nets[ni]
+		cell := n.Sinks[rng.IntN(len(n.Sinks))]
+		pos := nl.Cells[cell].Pos
+		// Nudge by 1–2 gcells per axis; retry until the clamped position
+		// actually differs (a corner cell nudged outward stays put).
+		for try := 0; try < 8; try++ {
+			dx := int32(rng.IntN(5) - 2)
+			dy := int32(rng.IntN(5) - 2)
+			np := pos
+			np.X = clampTo(np.X+dx, c.G.NX)
+			np.Y = clampTo(np.Y+dy, c.G.NY)
+			if np != pos {
+				nl.Cells[cell].Pos = np
+				moved[cell] = true
+				break
+			}
+		}
+	}
+
+	changed := 0
+	for _, n := range nl.Nets {
+		if moved[n.Driver] {
+			changed++
+			continue
+		}
+		for _, s := range n.Sinks {
+			if moved[s] {
+				changed++
+				break
+			}
+		}
+	}
+	return out, changed, nil
+}
+
+func clampTo(v, n int32) int32 {
+	if v < 0 {
+		return 0
+	}
+	if v >= n {
+		return n - 1
+	}
+	return v
+}

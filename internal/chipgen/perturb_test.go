@@ -1,0 +1,91 @@
+package chipgen
+
+import (
+	"reflect"
+	"testing"
+)
+
+func genTest(t *testing.T) *Chip {
+	t.Helper()
+	spec := Suite(0.002)[0]
+	c, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestPerturbDeterministicAndBounded(t *testing.T) {
+	chip := genTest(t)
+	a, na, err := Perturb(chip, 0.05, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, nb, err := Perturb(chip, 0.05, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if na != nb || !reflect.DeepEqual(a.NL, b.NL) {
+		t.Fatal("perturbation is not deterministic for a fixed seed")
+	}
+	if na < 1 {
+		t.Fatalf("perturbed %d nets, want ≥ 1", na)
+	}
+	if na >= len(chip.NL.Nets) {
+		t.Fatalf("perturbed every net (%d)", na)
+	}
+	// A different seed moves different cells.
+	c, _, err := Perturb(chip, 0.05, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.NL.Cells, c.NL.Cells) {
+		t.Fatal("different seeds produced identical perturbations")
+	}
+	// Positions stay on the grid.
+	for ci, cell := range a.NL.Cells {
+		if cell.Pos.X < 0 || cell.Pos.X >= chip.G.NX || cell.Pos.Y < 0 || cell.Pos.Y >= chip.G.NY {
+			t.Fatalf("cell %d off grid at %v", ci, cell.Pos)
+		}
+	}
+	if err := a.NL.Validate(); err != nil {
+		t.Fatalf("perturbed netlist invalid: %v", err)
+	}
+}
+
+func TestPerturbLeavesOriginalUntouched(t *testing.T) {
+	chip := genTest(t)
+	before := make([]int32, len(chip.NL.Cells))
+	for i, c := range chip.NL.Cells {
+		before[i] = c.Pos.X<<16 | c.Pos.Y
+	}
+	p, _, err := Perturb(chip, 0.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range chip.NL.Cells {
+		if before[i] != c.Pos.X<<16|c.Pos.Y {
+			t.Fatalf("original cell %d moved", i)
+		}
+	}
+	if p.G != chip.G || p.ClkPeriod != chip.ClkPeriod {
+		t.Fatal("perturbed chip must share grid and clock")
+	}
+}
+
+func TestPerturbZeroAndBadFrac(t *testing.T) {
+	chip := genTest(t)
+	p, n, err := Perturb(chip, 0, 1)
+	if err != nil || n != 0 {
+		t.Fatalf("frac 0: n=%d err=%v", n, err)
+	}
+	if !reflect.DeepEqual(p.NL, chip.NL) {
+		t.Fatal("frac 0 changed the netlist")
+	}
+	if _, _, err := Perturb(chip, -0.1, 1); err == nil {
+		t.Fatal("negative frac accepted")
+	}
+	if _, _, err := Perturb(chip, 1.5, 1); err == nil {
+		t.Fatal("frac > 1 accepted")
+	}
+}

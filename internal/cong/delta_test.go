@@ -83,6 +83,57 @@ func TestDeltaTrackerRunMerging(t *testing.T) {
 	}
 }
 
+func TestDiffRects(t *testing.T) {
+	g := deltaGraph()
+	a := make([]float32, g.NumSegs())
+	b := make([]float32, g.NumSegs())
+	for i := range a {
+		a[i] = 4
+		b[i] = 4
+	}
+	if rects := DiffRects(g, a, b); rects != nil {
+		t.Fatalf("identical vectors diffed: %v", rects)
+	}
+	// A capacity edit over two adjacent horizontal segments and one
+	// isolated via.
+	b[g.SegH(0, 5, 2)] = 1
+	b[g.SegH(0, 5, 3)] = 1
+	b[g.ViaSeg(0, 0, 0)] = 0
+	rects := DiffRects(g, a, b)
+	wantVia := geom.Rect{X0: 0, Y0: 0, X1: 0, Y1: 0}
+	wantRun := geom.Rect{X0: 2, Y0: 5, X1: 4, Y1: 5}
+	if len(rects) != 2 || rects[0] != wantVia || rects[1] != wantRun {
+		t.Fatalf("rects %v, want [%+v %+v]", rects, wantVia, wantRun)
+	}
+	// Symmetric: argument order only labels old/new.
+	rects2 := DiffRects(g, b, a)
+	if len(rects2) != 2 || rects2[0] != wantVia || rects2[1] != wantRun {
+		t.Fatalf("reversed diff %v, want [%+v %+v]", rects2, wantVia, wantRun)
+	}
+}
+
+func TestDeltaTrackerRefRoundTrip(t *testing.T) {
+	g := deltaGraph()
+	tr := NewDeltaTracker(g, 0.05)
+	mult := make([]float32, g.NumSegs())
+	for i := range mult {
+		mult[i] = 1
+	}
+	mult[g.SegH(0, 1, 1)] = 2
+	tr.Update(mult)
+	ref := tr.Ref()
+	if ref[g.SegH(0, 1, 1)] != 2 {
+		t.Fatalf("reference did not advance: %v", ref[g.SegH(0, 1, 1)])
+	}
+	// A fresh tracker restored from the snapshot treats the same
+	// multipliers as clean — the warm-start restore contract.
+	tr2 := NewDeltaTracker(g, 0.05)
+	tr2.SetRef(ref)
+	if rects, n := tr2.Update(mult); len(rects) != 0 || n != 0 {
+		t.Fatalf("restored reference reported changes: %v, %d", rects, n)
+	}
+}
+
 func TestDeltaTrackerNegativeToleranceForcesAll(t *testing.T) {
 	g := deltaGraph()
 	tr := NewDeltaTracker(g, -1)

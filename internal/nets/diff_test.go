@@ -1,0 +1,61 @@
+package nets
+
+import (
+	"testing"
+
+	"costdist/internal/geom"
+)
+
+func TestPinSigEqual(t *testing.T) {
+	base := PinSig{
+		Driver: geom.Pt{X: 1, Y: 2},
+		Sinks:  []geom.Pt{{X: 3, Y: 4}, {X: 5, Y: 6}},
+	}
+	same := PinSig{
+		Driver: geom.Pt{X: 1, Y: 2},
+		Sinks:  []geom.Pt{{X: 3, Y: 4}, {X: 5, Y: 6}},
+	}
+	if !base.Equal(same) {
+		t.Fatal("identical signatures reported unequal")
+	}
+	cases := []struct {
+		name string
+		sig  PinSig
+	}{
+		{"moved driver", PinSig{Driver: geom.Pt{X: 0, Y: 2}, Sinks: same.Sinks}},
+		{"moved sink", PinSig{Driver: base.Driver, Sinks: []geom.Pt{{X: 3, Y: 4}, {X: 5, Y: 7}}}},
+		{"dropped sink", PinSig{Driver: base.Driver, Sinks: []geom.Pt{{X: 3, Y: 4}}}},
+		{"added sink", PinSig{Driver: base.Driver, Sinks: []geom.Pt{{X: 3, Y: 4}, {X: 5, Y: 6}, {X: 7, Y: 8}}}},
+		// Per-sink state is positional, so pin order is significant.
+		{"reordered sinks", PinSig{Driver: base.Driver, Sinks: []geom.Pt{{X: 5, Y: 6}, {X: 3, Y: 4}}}},
+	}
+	for _, c := range cases {
+		if base.Equal(c.sig) {
+			t.Errorf("%s reported equal", c.name)
+		}
+	}
+}
+
+func TestSigOf(t *testing.T) {
+	g := twoLayerGraph(6, 6)
+	in := &Instance{
+		G: g, C: nil,
+		Root: g.At(0, 0, 0),
+		Sinks: []Sink{
+			{V: g.At(4, 2, 1), W: 1},
+			{V: g.At(1, 5, 0), W: 2},
+		},
+	}
+	sig := SigOf(in)
+	if sig.Driver != in.G.Pt(in.Root) {
+		t.Fatalf("driver %v, want %v", sig.Driver, in.G.Pt(in.Root))
+	}
+	if len(sig.Sinks) != len(in.Sinks) {
+		t.Fatalf("%d sinks, want %d", len(sig.Sinks), len(in.Sinks))
+	}
+	for k, s := range in.Sinks {
+		if sig.Sinks[k] != in.G.Pt(s.V) {
+			t.Fatalf("sink %d at %v, want %v", k, sig.Sinks[k], in.G.Pt(s.V))
+		}
+	}
+}

@@ -74,6 +74,13 @@ type incState struct {
 	// Selection.PickInstance derives on the solve path (same pin
 	// positions, same static MinDelayPerGCell).
 	fastest [][]float64
+	// seed, when non-nil, replaces the next computeDirty pass entirely:
+	// the wave's dirty set is seed ∪ {never solved}, no drift checks
+	// run and the delta tracker is left untouched. Warm starts use it
+	// to make the resumed run's first wave solve exactly the instance
+	// diff (RouteFrom); the checkpoint's prices are the clean baseline,
+	// so pre-checkpoint residue must not re-dirty restored nets.
+	seed []bool
 }
 
 // newIncState builds the scheduler for one chip.
@@ -134,6 +141,18 @@ func (s *incState) computeDirty(costs *grid.Costs, trees []*nets.RTree, weights,
 	for i := range s.dirty {
 		s.cand[i] = false
 		s.dirty[i] = false
+	}
+	if s.seed != nil {
+		// Seeded wave (warm start): the diff decided what is dirty; add
+		// only the nets that have never been solved at all.
+		for ni := range s.dirty {
+			if s.seed[ni] || s.lastW[ni] == nil || trees[ni] == nil {
+				s.dirty[ni] = true
+				work = append(work, int32(ni))
+			}
+		}
+		s.seed = nil
+		return work, 0
 	}
 	rects, deltaSegs := s.tracker.Update(costs.Mult)
 	if len(rects) > 0 {
@@ -220,4 +239,24 @@ func (s *incState) noteSolved(ni int, w, b []float64, tr *nets.RTree, congCost f
 	if r := tr.BBox(s.g); !r.Empty() {
 		s.regions[ni] = r.Expand(incHalo, s.g.NX, s.g.NY)
 	}
+}
+
+// restoreNet seeds net ni's scheduler state from a checkpoint: the
+// last-solve snapshots become the checkpoint's (rebaselined) values and
+// the candidate region follows the restored tree. Called once per net
+// before the first wave of a warm-started run.
+func (s *incState) restoreNet(ni int, w, b []float64, lastCost float64, oracleIdx int, tr *nets.RTree) {
+	s.lastW[ni] = append(s.lastW[ni][:0], w...)
+	s.lastB[ni] = append(s.lastB[ni][:0], b...)
+	s.lastCost[ni] = lastCost
+	s.lastOracle[ni] = int16(oracleIdx)
+	if r := tr.BBox(s.g); !r.Empty() {
+		s.regions[ni] = r.Expand(incHalo, s.g.NX, s.g.NY)
+	}
+}
+
+// seedDirty arms the seeded-wave mode: the next computeDirty call
+// returns dirty ∪ {never solved} and performs no drift checks.
+func (s *incState) seedDirty(dirty []bool) {
+	s.seed = dirty
 }

@@ -1,0 +1,115 @@
+package router
+
+import (
+	"time"
+
+	"costdist/internal/cong"
+	"costdist/internal/nets"
+	"costdist/internal/sta"
+)
+
+// Metrics are the per-run columns of Tables IV and V, plus the
+// work-avoidance counters of the incremental engine.
+type Metrics struct {
+	WS       float64 // worst slack, ps
+	TNS      float64 // total negative slack, ps
+	ACE4     float64 // percent
+	WLm      float64 // wirelength in meters
+	Vias     int64
+	Overflow float64
+	// Walltime is the wall-clock duration of the run. It is the one
+	// nondeterministic field of the row — every other field is a pure
+	// function of (chip, method, options) — so every wire form
+	// (MarshalRouteResult, MarshalCheckpoint) excludes it through the
+	// shared routeMetricsJSON helper rather than ad hoc.
+	Walltime time.Duration
+
+	// Objective is the summed paper objective (1) of the final trees —
+	// congestion cost under the final multipliers plus weighted sink
+	// delay under the final weights. It is the scalar the incremental
+	// and full engines are compared on.
+	Objective float64
+
+	// NetsSolved counts oracle solves summed over all waves; NetsSkipped
+	// counts cache hits — nets that kept their cached tree because the
+	// dirty-net scheduler found no relevant price change. With
+	// Incremental off every net is solved every wave and NetsSkipped is
+	// zero.
+	NetsSolved  int64
+	NetsSkipped int64
+	// SolvedPerWave and SkippedPerWave split the counters by wave;
+	// DeltaSegsPerWave is the wave's delta volume — congestion segments
+	// whose multiplier moved beyond tolerance (always zero with
+	// Incremental off, where deltas are not tracked).
+	SolvedPerWave    []int
+	SkippedPerWave   []int
+	DeltaSegsPerWave []int
+
+	// SolvesByOracle counts oracle invocations by registry name. A
+	// fixed method charges every solve to its one oracle; Auto charges
+	// the selected oracle per net; Portfolio charges every pool member
+	// it races (so the total exceeds NetsSolved by the pool factor).
+	// Only oracles with at least one solve appear.
+	SolvesByOracle map[string]int64
+}
+
+// Result is the outcome of a routing run.
+type Result struct {
+	Metrics Metrics
+	// Trees holds the final embedded tree of every net, indexed like
+	// chip.NL.Nets (nil for nets the run never routed). They are what
+	// Metrics.Objective scores, and what MarshalRouteResult serializes.
+	Trees []*nets.RTree
+	// Captured holds standalone instances snapshot at CaptureWave.
+	Captured []*nets.Instance
+}
+
+// finish evaluates the final metric row from the state the waves left
+// behind and returns the run's Result.
+func (r *runState) finish() *Result {
+	nl := r.chip.NL
+	res := r.res
+	timing := sta.Analyze(nl, func(n, k int) float64 { return r.delays[n][k] }, r.chip.ClkPeriod)
+	var vias int64
+	for _, tr := range r.trees {
+		if tr == nil {
+			continue
+		}
+		for _, st := range tr.Steps {
+			if st.Arc.Via {
+				vias++
+			}
+		}
+	}
+	// Score the final trees under the final prices and weights — the
+	// common scalar objective both engines are judged on.
+	finalCosts := r.pricer.Costs()
+	for ni, tr := range r.trees {
+		if tr == nil {
+			continue
+		}
+		for _, st := range tr.Steps {
+			res.Metrics.Objective += finalCosts.ArcCost(st.Arc)
+		}
+		for k := range r.delays[ni] {
+			res.Metrics.Objective += r.weights[ni][k] * r.delays[ni][k]
+		}
+	}
+	res.Metrics.SolvesByOracle = map[string]int64{}
+	for _, wc := range r.workerCounts {
+		for oi, c := range wc {
+			if c > 0 {
+				res.Metrics.SolvesByOracle[r.drv.names[oi]] += c
+			}
+		}
+	}
+	res.Trees = r.trees
+	res.Metrics.WS = timing.WS
+	res.Metrics.TNS = timing.TNS
+	res.Metrics.ACE4 = cong.ACE4(r.usage)
+	res.Metrics.WLm = r.usage.WirelengthM()
+	res.Metrics.Vias = vias
+	res.Metrics.Overflow = cong.Overflow(r.usage)
+	res.Metrics.Walltime = time.Since(r.start)
+	return res
+}

@@ -8,26 +8,26 @@
 // the paper's four contenders — L1, shallow-light, Prim-Dijkstra (each
 // topology-first, then embedded optimally) and the new cost-distance
 // algorithm — are all provided.
+//
+// The package is split by concern: this file holds the method/driver
+// dispatch and the public entry points; waves.go the rip-up-and-reroute
+// wave loop over a runState; metrics.go the metric row and its final
+// evaluation; state.go the externalized State with checkpoint/restore
+// and the warm-start entry points; incremental.go the dirty-net
+// scheduler.
 package router
 
 import (
 	"context"
 	"fmt"
 	"math"
-	"runtime"
 	"sort"
 	"sync"
-	"sync/atomic"
-	"time"
 
 	"costdist/internal/chipgen"
-	"costdist/internal/cong"
 	"costdist/internal/core"
-	"costdist/internal/geom"
-	"costdist/internal/grid"
 	"costdist/internal/nets"
 	"costdist/internal/oracle"
-	"costdist/internal/sta"
 )
 
 // Method selects the oracle driver of a routing run. The four fixed
@@ -144,7 +144,8 @@ type Options struct {
 	// nets invalidated by congestion or timing price changes are ripped
 	// up and re-solved; clean nets keep their cached tree. Off by
 	// default; the disabled path is bit-identical to a full re-solve of
-	// every net in every wave.
+	// every net in every wave. Warm-started runs (RouteFrom) always use
+	// the scheduler regardless of this flag.
 	Incremental bool
 	// IncrementalTol is the relative tolerance of the invalidation rule:
 	// a congestion multiplier or sink timing value counts as changed
@@ -189,57 +190,6 @@ func DefaultOptions() Options {
 		// critical band coupled to it.
 		Selection: SelectionOptions{TrivialSinks: 1, TightBudgetRatio: 1.25},
 	}
-}
-
-// Metrics are the per-run columns of Tables IV and V, plus the
-// work-avoidance counters of the incremental engine.
-type Metrics struct {
-	WS       float64 // worst slack, ps
-	TNS      float64 // total negative slack, ps
-	ACE4     float64 // percent
-	WLm      float64 // wirelength in meters
-	Vias     int64
-	Overflow float64
-	Walltime time.Duration
-
-	// Objective is the summed paper objective (1) of the final trees —
-	// congestion cost under the final multipliers plus weighted sink
-	// delay under the final weights. It is the scalar the incremental
-	// and full engines are compared on.
-	Objective float64
-
-	// NetsSolved counts oracle solves summed over all waves; NetsSkipped
-	// counts cache hits — nets that kept their cached tree because the
-	// dirty-net scheduler found no relevant price change. With
-	// Incremental off every net is solved every wave and NetsSkipped is
-	// zero.
-	NetsSolved  int64
-	NetsSkipped int64
-	// SolvedPerWave and SkippedPerWave split the counters by wave;
-	// DeltaSegsPerWave is the wave's delta volume — congestion segments
-	// whose multiplier moved beyond tolerance (always zero with
-	// Incremental off, where deltas are not tracked).
-	SolvedPerWave    []int
-	SkippedPerWave   []int
-	DeltaSegsPerWave []int
-
-	// SolvesByOracle counts oracle invocations by registry name. A
-	// fixed method charges every solve to its one oracle; Auto charges
-	// the selected oracle per net; Portfolio charges every pool member
-	// it races (so the total exceeds NetsSolved by the pool factor).
-	// Only oracles with at least one solve appear.
-	SolvesByOracle map[string]int64
-}
-
-// Result is the outcome of a routing run.
-type Result struct {
-	Metrics Metrics
-	// Trees holds the final embedded tree of every net, indexed like
-	// chip.NL.Nets (nil for nets the run never routed). They are what
-	// Metrics.Objective scores, and what MarshalRouteResult serializes.
-	Trees []*nets.RTree
-	// Captured holds standalone instances snapshot at CaptureWave.
-	Captured []*nets.Instance
 }
 
 // scratchPool hands each routing worker a private core.Scratch arena so
@@ -442,317 +392,16 @@ func RouteCtx(ctx context.Context, chip *chipgen.Chip, m Method, opt Options) (*
 	return routeWith(ctx, chip, m, opt, &scratchPool{})
 }
 
+// routeWith runs one cold route on a caller-provided scratch pool.
 func routeWith(ctx context.Context, chip *chipgen.Chip, m Method, opt Options, pool *scratchPool) (*Result, error) {
-	start := time.Now()
-	g := chip.G
-	nl := chip.NL
-	dbif := opt.DBif
-	if dbif < 0 {
-		dbif = chip.DBif
-	}
-	threads := opt.Threads
-	if threads <= 0 {
-		threads = runtime.GOMAXPROCS(0)
-	}
-	pool.grow(threads)
-	drv, err := newDriver(m, opt)
+	r, err := newRun(ctx, chip, m, opt, pool)
 	if err != nil {
 		return nil, err
 	}
-	pricer := cong.NewPricer(g, opt.PriceAlpha, opt.PriceTarget)
-
-	nNets := len(nl.Nets)
-	weights := make([][]float64, nNets)
-	delays := make([][]float64, nNets)
-	budgets := make([][]float64, nNets)
-	for ni, n := range nl.Nets {
-		weights[ni] = make([]float64, len(n.Sinks))
-		delays[ni] = make([]float64, len(n.Sinks))
-		for k := range n.Sinks {
-			weights[ni][k] = opt.WeightBase
-		}
+	if err := r.runWaves(); err != nil {
+		return nil, err
 	}
-	trees := make([]*nets.RTree, nNets)
-	res := &Result{}
-
-	// lbif converts the delay penalty to length units for the plane
-	// topology baselines (fastest delay per gcell).
-	costs0 := grid.NewCosts(g)
-	lbif := 0.0
-	if d := costs0.MinDelayPerGCell(); d > 0 {
-		lbif = dbif / d
-	}
-
-	// Pre-wave timing: estimate net delays from L1 distances on a
-	// mid-stack layer and derive initial delay weights and budgets, so
-	// every sink carries its Lagrangean timing price from the first wave
-	// (ref [13] prices all timing constraints from the start; a purely
-	// reactive update would let delay-oblivious trees poison wave 0).
-	{
-		mid := g.Layers[len(g.Layers)/2]
-		perGC := mid.Wires[0].DelayPerGCell
-		est := func(n, k int) float64 {
-			net := nl.Nets[n]
-			d := geom.L1(nl.Cells[net.Driver].Pos, nl.Cells[net.Sinks[k]].Pos)
-			return float64(d)*perGC + 2*mid.ViaDelay
-		}
-		timing := sta.Analyze(nl, est, chip.ClkPeriod)
-		for ni := range nl.Nets {
-			budgets[ni] = make([]float64, len(nl.Nets[ni].Sinks))
-			for k := range nl.Nets[ni].Sinks {
-				slack := timing.PinSlack(ni, k)
-				w := opt.WeightBase * math.Exp(-slack/opt.WeightTau)
-				if w < opt.WeightBase {
-					w = opt.WeightBase
-				}
-				if w > opt.WeightMax {
-					w = opt.WeightMax
-				}
-				weights[ni][k] = w
-				b := est(ni, k) + slack
-				if b < 0 {
-					b = 0
-				}
-				budgets[ni][k] = b
-			}
-		}
-	}
-
-	// The full work list; incremental waves replace it with the dirty
-	// subset.
-	allNets := make([]int32, nNets)
-	for i := range allNets {
-		allNets[i] = int32(i)
-	}
-	var inc *incState
-	if opt.Incremental {
-		inc = newIncState(chip, drv, opt)
-	}
-
-	// Per-worker oracle invocation counters, indexed like drv.names and
-	// summed after the waves — addition commutes, so the totals are
-	// independent of how nets land on workers.
-	workerCounts := make([][]int64, threads)
-	for i := range workerCounts {
-		workerCounts[i] = make([]int64, len(drv.names))
-	}
-
-	var usage *cong.Usage
-	for wave := 0; wave < opt.Waves; wave++ {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		costs := pricer.Costs()
-		capture := wave == opt.CaptureWave
-
-		work := allNets
-		deltaSegs := 0
-		if inc != nil {
-			// Dirty-net scheduling: invalidate nets whose cached tree got
-			// repriced or whose timing inputs drifted. Wave 0 marks every
-			// net dirty (nothing has been solved yet).
-			work, deltaSegs = inc.computeDirty(costs, trees, weights, budgets)
-		}
-		nWork := len(work)
-
-		workerUsage := make([]*cong.Usage, threads)
-		workerErr := make([]error, threads)
-		captured := make([][]*nets.Instance, threads)
-		var next atomic.Int64
-		var wg sync.WaitGroup
-		for w := 0; w < threads; w++ {
-			if inc == nil {
-				workerUsage[w] = cong.NewUsage(g)
-			}
-			wg.Add(1)
-			go func(worker int) {
-				defer wg.Done()
-				// Each worker solves through its own arena; results are
-				// unchanged (solves are per-instance deterministic) while
-				// per-net solver allocations disappear. Any caller-provided
-				// scratch is overridden — sharing one across workers would
-				// race.
-				wopt := opt
-				wopt.CoreOpt.Scratch = pool.scr[worker]
-				env := oracle.Env{Core: wopt.CoreOpt, PDAlpha: opt.PDAlpha, SLEps: opt.SLEps, LBif: lbif}
-				for {
-					// The cancellation point of the hot loop: one check per
-					// net claim, so a kill takes effect within one solve.
-					if ctx.Err() != nil {
-						return
-					}
-					idx := int(next.Add(1)) - 1
-					if idx >= nWork {
-						return
-					}
-					ni := int(work[idx])
-					in := buildInstance(chip, ni, weights[ni], costs, dbif, opt)
-					in.Budgets = budgets[ni]
-					tr, oi, ev, err := drv.solve(in, &env, workerCounts[worker])
-					if err != nil {
-						if workerErr[worker] == nil {
-							workerErr[worker] = fmt.Errorf("net %d: %w", ni, err)
-						}
-						continue
-					}
-					if ev == nil {
-						ev, err = nets.Evaluate(in, tr)
-						if err != nil {
-							if workerErr[worker] == nil {
-								workerErr[worker] = fmt.Errorf("net %d eval: %w", ni, err)
-							}
-							continue
-						}
-					}
-					trees[ni] = tr
-					copy(delays[ni], ev.SinkDelay)
-					if inc == nil {
-						for _, st := range tr.Steps {
-							workerUsage[worker].AddArc(st.Arc)
-						}
-					} else {
-						// Snapshot the inputs this solve consumed, the new
-						// tree's cost and region, and which oracle produced
-						// it; workers touch disjoint nets, so this is
-						// race-free.
-						inc.noteSolved(ni, weights[ni], budgets[ni], tr, ev.CongCost, oi)
-					}
-					if capture && len(in.Sinks) >= 1 {
-						captured[worker] = append(captured[worker], snapshot(in))
-					}
-				}
-			}(w)
-		}
-		wg.Wait()
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		for _, err := range workerErr {
-			if err != nil {
-				return nil, err
-			}
-		}
-		if inc == nil {
-			usage = cong.NewUsage(g)
-			for _, wu := range workerUsage {
-				usage.AddFrom(wu)
-			}
-		} else {
-			// Skipped nets keep their cached tree but still occupy their
-			// tracks: rebuild usage from every tree, cached or fresh, in
-			// net order — deterministic regardless of worker count or of
-			// which nets were skipped.
-			usage = cong.NewUsage(g)
-			for _, tr := range trees {
-				if tr == nil {
-					continue
-				}
-				for _, st := range tr.Steps {
-					usage.AddArc(st.Arc)
-				}
-			}
-		}
-		res.Metrics.NetsSolved += int64(nWork)
-		res.Metrics.NetsSkipped += int64(nNets - nWork)
-		res.Metrics.SolvedPerWave = append(res.Metrics.SolvedPerWave, nWork)
-		res.Metrics.SkippedPerWave = append(res.Metrics.SkippedPerWave, nNets-nWork)
-		res.Metrics.DeltaSegsPerWave = append(res.Metrics.DeltaSegsPerWave, deltaSegs)
-		if capture {
-			for _, cs := range captured {
-				res.Captured = append(res.Captured, cs...)
-			}
-		}
-
-		// Lagrangean updates: congestion prices, delay weights and the
-		// globally optimized per-sink delay budgets (routed delay plus
-		// the slack the endpoint can still afford) consumed by the
-		// shallow-light baseline, per ref [13].
-		pricer.Update(usage)
-		timing := sta.Analyze(nl, func(n, k int) float64 { return delays[n][k] }, chip.ClkPeriod)
-		for ni := range nl.Nets {
-			if budgets[ni] == nil {
-				budgets[ni] = make([]float64, len(nl.Nets[ni].Sinks))
-			}
-			for k := range nl.Nets[ni].Sinks {
-				slack := timing.PinSlack(ni, k)
-				w := weights[ni][k] * math.Exp(-slack/opt.WeightTau)
-				if w < opt.WeightBase {
-					w = opt.WeightBase
-				}
-				if w > opt.WeightMax {
-					w = opt.WeightMax
-				}
-				weights[ni][k] = w
-				b := delays[ni][k] + slack
-				if b < 0 {
-					b = 0
-				}
-				budgets[ni][k] = b
-			}
-		}
-	}
-
-	// Final metrics.
-	timing := sta.Analyze(nl, func(n, k int) float64 { return delays[n][k] }, chip.ClkPeriod)
-	var vias int64
-	for _, tr := range trees {
-		if tr == nil {
-			continue
-		}
-		for _, st := range tr.Steps {
-			if st.Arc.Via {
-				vias++
-			}
-		}
-	}
-	// Score the final trees under the final prices and weights — the
-	// common scalar objective both engines are judged on.
-	finalCosts := pricer.Costs()
-	for ni, tr := range trees {
-		if tr == nil {
-			continue
-		}
-		for _, st := range tr.Steps {
-			res.Metrics.Objective += finalCosts.ArcCost(st.Arc)
-		}
-		for k := range delays[ni] {
-			res.Metrics.Objective += weights[ni][k] * delays[ni][k]
-		}
-	}
-	res.Metrics.SolvesByOracle = map[string]int64{}
-	for _, wc := range workerCounts {
-		for oi, c := range wc {
-			if c > 0 {
-				res.Metrics.SolvesByOracle[drv.names[oi]] += c
-			}
-		}
-	}
-	res.Trees = trees
-	res.Metrics.WS = timing.WS
-	res.Metrics.TNS = timing.TNS
-	res.Metrics.ACE4 = cong.ACE4(usage)
-	res.Metrics.WLm = usage.WirelengthM()
-	res.Metrics.Vias = vias
-	res.Metrics.Overflow = cong.Overflow(usage)
-	res.Metrics.Walltime = time.Since(start)
-	return res, nil
-}
-
-// buildInstance assembles the cost-distance subproblem for one net under
-// the current prices and weights.
-func buildInstance(chip *chipgen.Chip, ni int, w []float64, costs *grid.Costs, dbif float64, opt Options) *nets.Instance {
-	n := chip.NL.Nets[ni]
-	in := &nets.Instance{
-		G: chip.G, C: costs,
-		Root: chip.PinVertex(n.Driver),
-		DBif: dbif, Eta: opt.Eta,
-		Seed: opt.Seed*0x9E3779B9 + uint64(ni),
-	}
-	for k, s := range n.Sinks {
-		in.Sinks = append(in.Sinks, nets.Sink{V: chip.PinVertex(s), W: w[k]})
-	}
-	in.Win = in.DefaultWindow(opt.Margin)
-	return in
+	return r.finish(), nil
 }
 
 // SolveNet runs one oracle driver standalone on a self-contained
@@ -772,17 +421,6 @@ func SolveNet(in *nets.Instance, m Method, opt Options) (*nets.RTree, error) {
 	env := oracle.Env{Core: opt.CoreOpt, PDAlpha: opt.PDAlpha, SLEps: opt.SLEps, LBif: lbif}
 	tr, _, _, err := drv.solve(in, &env, nil)
 	return tr, err
-}
-
-// snapshot deep-copies an instance so it stays valid after the pricer
-// mutates the shared multipliers (Tables I/II instance capture).
-func snapshot(in *nets.Instance) *nets.Instance {
-	c := *in.C
-	c.Mult = append([]float32{}, in.C.Mult...)
-	out := *in
-	out.C = &c
-	out.Sinks = append([]nets.Sink{}, in.Sinks...)
-	return &out
 }
 
 // RouteAll routes every chip of a suite with one method, returning rows

@@ -1,0 +1,312 @@
+package router
+
+import (
+	"context"
+	"fmt"
+
+	"costdist/internal/chipgen"
+	"costdist/internal/cong"
+	"costdist/internal/geom"
+	"costdist/internal/grid"
+	"costdist/internal/nets"
+	"costdist/internal/sta"
+)
+
+// State is the externalized router state: everything the wave loop
+// accumulates that outlives a call — per-net cached trees with their
+// solve snapshots, the congestion multipliers with the delta tracker's
+// reference, and the STA-derived timing state. A State is produced by
+// Checkpoint() at the end of a run and consumed by RouteFrom, which
+// diffs a (possibly edited) chip against it and re-solves only the
+// nets the edit invalidated. io.go gives it a versioned, byte-stable
+// wire form (MarshalCheckpoint/UnmarshalCheckpoint).
+//
+// Checkpoints are rebaselined: the per-net weight/budget baselines are
+// the run's final weights and budgets, and LastCost is each tree's
+// congestion cost repriced under the final multipliers. The checkpoint
+// therefore asserts "this solution is converged and clean at these
+// prices" — a warm start re-solves nothing until either the instance
+// diff or post-resume price drift invalidates a net. That is what
+// makes a zero-perturbation warm start a no-op that reproduces the
+// cold result exactly.
+type State struct {
+	// Method is the canonical driver name of the producing run. A warm
+	// start under a different method distrusts every cached tree (the
+	// wrong oracle produced them) and re-solves the whole chip, while
+	// still reusing the restored congestion prices.
+	Method string
+
+	// NX, NY, Layers and LayerDirs identify the routing grid the state
+	// is bound to. Chips with equal dimensions and layer directions
+	// share vertex and segment numbering, so trees and multiplier
+	// vectors transfer between them directly.
+	NX, NY    int32
+	Layers    int
+	LayerDirs string // "H"/"V" per layer, e.g. "HVHVHVHV"
+
+	// Cap is the capacity vector of the routed chip's grid; RouteFrom
+	// diffs it against the new chip's capacities and dirties nets whose
+	// region overlaps an edit. Mult is the congestion multiplier vector
+	// after the run; Ref the delta tracker's reference snapshot the
+	// resumed run judges multiplier drift against. Checkpoint()
+	// rebaselines Ref to Mult — like LastCost, the reference is reset
+	// to the restored equilibrium so pre-checkpoint sub-tolerance
+	// residue cannot re-dirty nets the checkpoint declares clean — but
+	// the wire form keeps the field separate so future versions can
+	// carry a true mid-run reference.
+	Cap  []float32
+	Mult []float32
+	Ref  []float32
+
+	// Metrics is the metric row of the producing run (Walltime is
+	// dropped on the wire — the one nondeterministic field).
+	Metrics Metrics
+
+	// Nets holds one entry per net of the routed chip, in netlist
+	// order.
+	Nets []NetState
+}
+
+// NetState is one net's externalized state: its terminal signature
+// (the diff key), the cached tree with the solve snapshot the dirty-net
+// scheduler judges drift against, and the cached sink delays the STA
+// replays for clean nets.
+type NetState struct {
+	Sig nets.PinSig
+	// Weights and Budgets are the net's Lagrangean timing prices at
+	// checkpoint time; they double as the last-solve baselines of the
+	// restored dirty-net scheduler (checkpoints are rebaselined).
+	Weights []float64
+	Budgets []float64
+	// Delays are the routed sink delays of the cached tree in ps.
+	Delays []float64
+	// LastCost is Tree's congestion cost under Mult.
+	LastCost float64
+	// Oracle is the registry name of the oracle that produced Tree
+	// ("" when unknown — e.g. a full-engine run under a multi-oracle
+	// driver); unknown provenance makes drift checks conservative.
+	Oracle string
+	// Tree is the cached embedded tree (nil if the net was never
+	// routed).
+	Tree *nets.RTree
+}
+
+// layerDirs renders a grid's per-layer preferred directions as the
+// compact signature string stored in checkpoints.
+func layerDirs(g *grid.Graph) string {
+	b := make([]byte, len(g.Layers))
+	for i := range g.Layers {
+		b[i] = 'H'
+		if g.Layers[i].Dir == grid.DirV {
+			b[i] = 'V'
+		}
+	}
+	return string(b)
+}
+
+// CompatibleWith reports whether the state can warm-start routing on
+// the given grid: equal dimensions, layer count and directions (which
+// together fix the vertex and segment numbering), and matching segment
+// counts for the stored vectors.
+func (st *State) CompatibleWith(g *grid.Graph) error {
+	if g.NX != st.NX || g.NY != st.NY || len(g.Layers) != st.Layers {
+		return fmt.Errorf("router: checkpoint grid %dx%dx%d incompatible with chip grid %dx%dx%d",
+			st.NX, st.NY, st.Layers, g.NX, g.NY, len(g.Layers))
+	}
+	if d := layerDirs(g); d != st.LayerDirs {
+		return fmt.Errorf("router: checkpoint layer directions %s incompatible with chip %s", st.LayerDirs, d)
+	}
+	if int(g.NumSegs()) != len(st.Cap) || len(st.Cap) != len(st.Mult) || len(st.Cap) != len(st.Ref) {
+		return fmt.Errorf("router: checkpoint has %d/%d/%d cap/mult/ref segments, chip has %d",
+			len(st.Cap), len(st.Mult), len(st.Ref), g.NumSegs())
+	}
+	return nil
+}
+
+// Checkpoint externalizes the run's state. Everything is deep-copied,
+// so the State stays valid however the caller's chips and results are
+// used afterwards.
+func (r *runState) Checkpoint() *State {
+	g := r.chip.G
+	nl := r.chip.NL
+	st := &State{
+		Method:    r.m.Name(),
+		NX:        g.NX,
+		NY:        g.NY,
+		Layers:    len(g.Layers),
+		LayerDirs: layerDirs(g),
+		Cap:       append([]float32(nil), g.Cap...),
+		Mult:      append([]float32(nil), r.pricer.Mult...),
+		Metrics:   r.res.Metrics,
+	}
+	// Rebaseline the drift reference to the final multipliers (see the
+	// State.Ref doc); cong.DeltaTracker.Ref stays available for callers
+	// that want the raw mid-run reference.
+	st.Ref = append([]float32(nil), st.Mult...)
+	finalCosts := r.pricer.Costs()
+	st.Nets = make([]NetState, len(nl.Nets))
+	for ni, n := range nl.Nets {
+		ns := NetState{
+			Sig:     netSig(nl, n),
+			Weights: append([]float64(nil), r.weights[ni]...),
+			Budgets: append([]float64(nil), r.budgets[ni]...),
+			Delays:  append([]float64(nil), r.delays[ni]...),
+		}
+		if tr := r.trees[ni]; tr != nil {
+			ns.Tree = &nets.RTree{Steps: append([]nets.Step(nil), tr.Steps...)}
+			// Rebaseline: the snapshot cost is the tree's price under the
+			// final multipliers, so a resumed run starts drift accounting
+			// from the restored equilibrium, not from mid-run residue.
+			for _, step := range tr.Steps {
+				ns.LastCost += finalCosts.ArcCost(step.Arc)
+			}
+			ns.Oracle = r.producingOracle(ni)
+		}
+		st.Nets[ni] = ns
+	}
+	return st
+}
+
+// producingOracle names the oracle behind net ni's cached tree: the
+// scheduler's record when the run tracked one, the fixed oracle for
+// single-oracle runs, "" otherwise (multi-oracle full-engine runs do
+// not record per-net provenance).
+func (r *runState) producingOracle(ni int) string {
+	if r.inc != nil && r.inc.lastOracle[ni] >= 0 {
+		return r.drv.names[r.inc.lastOracle[ni]]
+	}
+	if r.drv.fixed >= 0 {
+		return r.drv.names[r.drv.fixed]
+	}
+	return ""
+}
+
+// netSig extracts the terminal signature of a netlist net.
+func netSig(nl *sta.Netlist, n sta.Net) nets.PinSig {
+	sig := nets.PinSig{Driver: nl.Cells[n.Driver].Pos}
+	sig.Sinks = make([]geom.Pt, len(n.Sinks))
+	for k, s := range n.Sinks {
+		sig.Sinks[k] = nl.Cells[s].Pos
+	}
+	return sig
+}
+
+// RouteCheckpoint is RouteCtx returning, alongside the result, the
+// run's externalized state for later warm starts.
+func RouteCheckpoint(ctx context.Context, chip *chipgen.Chip, m Method, opt Options) (*Result, *State, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	r, err := newRun(ctx, chip, m, opt, &scratchPool{})
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := r.runWaves(); err != nil {
+		return nil, nil, err
+	}
+	res := r.finish()
+	return res, r.Checkpoint(), nil
+}
+
+// RouteFrom warm-starts routing on chip from a previous run's state:
+// the checkpointed trees, multipliers and timing prices are restored,
+// the chip is diffed against the checkpoint, and the first wave's work
+// list is seeded with exactly the nets the diff invalidated — moved,
+// added or re-pinned nets, nets without a cached tree, and nets whose
+// region overlaps a capacity edit. Later waves run the ordinary
+// dirty-net scheduler, so post-resume price and weight drift reprices
+// reuse decisions just like mid-run waves do. A wave that re-solves
+// nothing skips the Lagrangean updates (the restored equilibrium is
+// already converged), which makes an unperturbed warm start a no-op
+// reproducing the checkpointed result exactly.
+//
+// The warm run always uses the dirty-net scheduler regardless of
+// opt.Incremental; a negative opt.IncrementalTol still forces every
+// net dirty (a full re-solve that only reuses the restored prices).
+// The returned State is the new run's checkpoint, so ECO chains can
+// warm-start from warm starts.
+func RouteFrom(ctx context.Context, st *State, chip *chipgen.Chip, m Method, opt Options) (*Result, *State, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if st == nil {
+		return nil, nil, fmt.Errorf("router: RouteFrom needs a checkpoint state (use Route for cold starts)")
+	}
+	r, err := newRunFrom(ctx, st, chip, m, opt, &scratchPool{})
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := r.runWaves(); err != nil {
+		return nil, nil, err
+	}
+	res := r.finish()
+	return res, r.Checkpoint(), nil
+}
+
+// newRunFrom builds a warm-started runState: a cold skeleton (which
+// also computes the cold-init timing for nets the diff rejects) with
+// the checkpoint's state restored on top and the first wave's dirty
+// seed derived from the instance diff.
+func newRunFrom(ctx context.Context, st *State, chip *chipgen.Chip, m Method, opt Options, pool *scratchPool) (*runState, error) {
+	if err := st.CompatibleWith(chip.G); err != nil {
+		return nil, err
+	}
+	// Warm starts always run the dirty-net scheduler — without it there
+	// is no machinery to skip clean nets or replay their usage.
+	opt.Incremental = true
+	r, err := newRun(ctx, chip, m, opt, pool)
+	if err != nil {
+		return nil, err
+	}
+	r.warm = true
+
+	// Restore chip-wide price state: the multipliers drive wave 0's
+	// costs, the tracker reference resumes drift accounting.
+	copy(r.pricer.Mult, st.Mult)
+	r.inc.tracker.SetRef(st.Ref)
+
+	// A method change invalidates every cached tree: the trees were
+	// produced by the wrong oracle, and per-net provenance under a
+	// different driver is not comparable. The restored prices are still
+	// reused — they are driver-independent Lagrangean state.
+	methodMatch := st.Method == m.Name()
+
+	nl := chip.NL
+	for ni, n := range nl.Nets {
+		if !methodMatch || ni >= len(st.Nets) {
+			continue
+		}
+		ns := &st.Nets[ni]
+		if ns.Tree == nil || !ns.Sig.Equal(netSig(nl, n)) {
+			continue // added or re-pinned net: keep the cold init, solve in wave 0
+		}
+		// A hand-built State with per-sink vectors shorter than the sink
+		// count would panic the drift checks; treat such entries as
+		// changed nets instead of restoring them (the codec rejects
+		// them outright on the wire path).
+		if k := len(n.Sinks); len(ns.Weights) != k || len(ns.Budgets) != k || len(ns.Delays) != k {
+			continue
+		}
+		oi := -1
+		if ns.Oracle != "" {
+			oi = r.drv.index(ns.Oracle)
+		}
+		copy(r.weights[ni], ns.Weights)
+		copy(r.budgets[ni], ns.Budgets)
+		copy(r.delays[ni], ns.Delays)
+		r.trees[ni] = ns.Tree
+		r.inc.restoreNet(ni, ns.Weights, ns.Budgets, ns.LastCost, oi, ns.Tree)
+	}
+
+	// Capacity edits: translate changed segments into plane regions and
+	// dirty every net whose candidate region overlaps one.
+	seed := make([]bool, len(nl.Nets))
+	if rects := cong.DiffRects(chip.G, chip.G.Cap, st.Cap); len(rects) > 0 {
+		ix := nets.BuildWindowIndex(r.inc.regions)
+		for _, rect := range rects {
+			ix.Query(rect, func(ni int32) { seed[ni] = true })
+		}
+	}
+	r.inc.seedDirty(seed)
+	return r, nil
+}

@@ -1,0 +1,121 @@
+package router
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"costdist/internal/chipgen"
+	"costdist/internal/grid"
+	"costdist/internal/oracle"
+)
+
+// chipCosts builds a Costs view of the chip's grid with the given
+// multiplier vector.
+func chipCosts(chip *chipgen.Chip, mult []float32) *grid.Costs {
+	c := grid.NewCosts(chip.G)
+	copy(c.Mult, mult)
+	return c
+}
+
+// Checkpoint() must rebaseline: the drift reference equals the final
+// multipliers, and every cached tree's LastCost is its congestion cost
+// repriced under them — not the (possibly stale) cost recorded when the
+// net was last solved mid-run.
+func TestCheckpointRebaselines(t *testing.T) {
+	chip := tinyChip(t, 0, 0.002)
+	opt := DefaultOptions()
+	opt.Waves = 2
+	opt.Incremental = true
+	_, st, err := RouteCheckpoint(context.Background(), chip, CD, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range st.Ref {
+		if st.Ref[s] != st.Mult[s] {
+			t.Fatalf("seg %d: ref %v != mult %v", s, st.Ref[s], st.Mult[s])
+		}
+	}
+	// Reprice independently under the stored multipliers.
+	pricer := chipCosts(chip, st.Mult)
+	for ni := range st.Nets {
+		ns := &st.Nets[ni]
+		if ns.Tree == nil {
+			t.Fatalf("net %d has no cached tree after a full run", ni)
+		}
+		cur := 0.0
+		for _, step := range ns.Tree.Steps {
+			cur += pricer.ArcCost(step.Arc)
+		}
+		if math.Abs(cur-ns.LastCost) > 1e-9*math.Abs(cur) {
+			t.Fatalf("net %d: LastCost %v, repriced %v", ni, ns.LastCost, cur)
+		}
+		if ns.Oracle != "cd" {
+			t.Fatalf("net %d: oracle %q, want cd", ni, ns.Oracle)
+		}
+	}
+	if st.Method != "cd" || st.NX != chip.G.NX || st.Layers != len(chip.G.Layers) {
+		t.Fatalf("grid signature wrong: %+v", st)
+	}
+}
+
+// The seeded computeDirty pass must return exactly seed ∪ never-solved,
+// run no drift checks, and disarm itself for the following wave.
+func TestComputeDirtySeedMode(t *testing.T) {
+	chip := tinyChip(t, 0, 0.002)
+	opt := DefaultOptions()
+	opt.Incremental = true
+	drv, err := newDriver(CD, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := newRun(context.Background(), chip, CD, opt, &scratchPool{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc := r.inc
+	n := len(chip.NL.Nets)
+	if n < 4 {
+		t.Fatalf("chip too small: %d nets", n)
+	}
+	// Pretend nets 0 and 1 were solved (restored); 2 is seeded dirty;
+	// the rest stay never-solved.
+	costs := r.pricer.Costs()
+	env := oracle.Env{Core: opt.CoreOpt, PDAlpha: opt.PDAlpha, SLEps: opt.SLEps, LBif: r.lbif}
+	fake := make(map[int]bool)
+	for _, ni := range []int{0, 1} {
+		in := buildInstance(chip, ni, r.weights[ni], costs, r.dbif, opt)
+		tr, err := drv.oracles[drv.fixed].Solve(in, &env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.trees[ni] = tr
+		inc.restoreNet(ni, r.weights[ni], r.budgets[ni], 1, drv.fixed, tr)
+		fake[ni] = true
+	}
+	seed := make([]bool, n)
+	seed[2] = true
+	inc.seedDirty(seed)
+	work, deltaSegs := inc.computeDirty(costs, r.trees, r.weights, r.budgets)
+	if deltaSegs != 0 {
+		t.Fatalf("seeded wave reported %d delta segs", deltaSegs)
+	}
+	if len(work) != n-2 {
+		t.Fatalf("seeded wave dirtied %d of %d nets, want %d", len(work), n, n-2)
+	}
+	for _, ni := range work {
+		if fake[int(ni)] && ni != 2 {
+			t.Fatalf("restored net %d dirtied by the seed pass", ni)
+		}
+	}
+	// The seed is single-shot: the next pass runs the ordinary rule,
+	// under which restored nets with unchanged inputs stay clean.
+	work2, _ := inc.computeDirty(costs, r.trees, r.weights, r.budgets)
+	for _, ni := range work2 {
+		if ni == 0 || ni == 1 {
+			// weights have not drifted (same slices), so 0/1 must stay
+			// clean unless their cached cost moved — it has not.
+			t.Fatalf("restored net %d dirty on the post-seed wave", ni)
+		}
+	}
+}

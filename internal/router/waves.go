@@ -1,0 +1,368 @@
+package router
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"context"
+
+	"costdist/internal/chipgen"
+	"costdist/internal/cong"
+	"costdist/internal/geom"
+	"costdist/internal/grid"
+	"costdist/internal/nets"
+	"costdist/internal/oracle"
+	"costdist/internal/sta"
+)
+
+// runState is the mutable state of one routing run — everything the
+// rip-up-and-reroute wave loop reads and writes. It used to live as
+// interleaved locals inside Route; hoisting it into a struct is what
+// lets Checkpoint() externalize a run and RouteFrom resume one.
+type runState struct {
+	ctx  context.Context
+	chip *chipgen.Chip
+	m    Method
+	opt  Options
+	drv  *driver
+	pool *scratchPool
+
+	dbif    float64
+	threads int
+	lbif    float64
+
+	pricer *cong.Pricer
+	// weights, delays and budgets are the per-net, per-sink Lagrangean
+	// timing state; trees the current embedded tree of every net.
+	weights [][]float64
+	delays  [][]float64
+	budgets [][]float64
+	trees   []*nets.RTree
+
+	allNets []int32
+	inc     *incState
+
+	// workerCounts are per-worker oracle invocation counters, indexed
+	// like drv.names and summed after the waves — addition commutes, so
+	// the totals are independent of how nets land on workers.
+	workerCounts [][]int64
+
+	usage *cong.Usage
+	res   *Result
+	start time.Time
+
+	// warm marks a warm-started run (RouteFrom): its first wave solves
+	// only the seeded dirty set, and a wave that solved zero nets skips
+	// the Lagrangean updates entirely (quiesce) — no new information
+	// was produced, so repricing would only drift the restored state
+	// away from the checkpoint it came from. The cold path never
+	// quiesces: it stays bit-identical to the pre-State engine.
+	warm bool
+}
+
+// newRun assembles the cold-start state: fresh multipliers, cached
+// trees empty, and the pre-wave timing estimate seeding every sink's
+// delay weight and budget.
+func newRun(ctx context.Context, chip *chipgen.Chip, m Method, opt Options, pool *scratchPool) (*runState, error) {
+	r := &runState{
+		ctx: ctx, chip: chip, m: m, opt: opt, pool: pool,
+		start: time.Now(),
+	}
+	g := chip.G
+	nl := chip.NL
+	r.dbif = opt.DBif
+	if r.dbif < 0 {
+		r.dbif = chip.DBif
+	}
+	r.threads = opt.Threads
+	if r.threads <= 0 {
+		r.threads = runtime.GOMAXPROCS(0)
+	}
+	pool.grow(r.threads)
+	drv, err := newDriver(m, opt)
+	if err != nil {
+		return nil, err
+	}
+	r.drv = drv
+	r.pricer = cong.NewPricer(g, opt.PriceAlpha, opt.PriceTarget)
+
+	nNets := len(nl.Nets)
+	r.weights = make([][]float64, nNets)
+	r.delays = make([][]float64, nNets)
+	r.budgets = make([][]float64, nNets)
+	for ni, n := range nl.Nets {
+		r.weights[ni] = make([]float64, len(n.Sinks))
+		r.delays[ni] = make([]float64, len(n.Sinks))
+		for k := range n.Sinks {
+			r.weights[ni][k] = opt.WeightBase
+		}
+	}
+	r.trees = make([]*nets.RTree, nNets)
+	r.res = &Result{}
+
+	// lbif converts the delay penalty to length units for the plane
+	// topology baselines (fastest delay per gcell).
+	costs0 := grid.NewCosts(g)
+	if d := costs0.MinDelayPerGCell(); d > 0 {
+		r.lbif = r.dbif / d
+	}
+
+	// Pre-wave timing: estimate net delays from L1 distances on a
+	// mid-stack layer and derive initial delay weights and budgets, so
+	// every sink carries its Lagrangean timing price from the first wave
+	// (ref [13] prices all timing constraints from the start; a purely
+	// reactive update would let delay-oblivious trees poison wave 0).
+	{
+		mid := g.Layers[len(g.Layers)/2]
+		perGC := mid.Wires[0].DelayPerGCell
+		est := func(n, k int) float64 {
+			net := nl.Nets[n]
+			d := geom.L1(nl.Cells[net.Driver].Pos, nl.Cells[net.Sinks[k]].Pos)
+			return float64(d)*perGC + 2*mid.ViaDelay
+		}
+		timing := sta.Analyze(nl, est, chip.ClkPeriod)
+		for ni := range nl.Nets {
+			r.budgets[ni] = make([]float64, len(nl.Nets[ni].Sinks))
+			for k := range nl.Nets[ni].Sinks {
+				slack := timing.PinSlack(ni, k)
+				w := opt.WeightBase * math.Exp(-slack/opt.WeightTau)
+				if w < opt.WeightBase {
+					w = opt.WeightBase
+				}
+				if w > opt.WeightMax {
+					w = opt.WeightMax
+				}
+				r.weights[ni][k] = w
+				b := est(ni, k) + slack
+				if b < 0 {
+					b = 0
+				}
+				r.budgets[ni][k] = b
+			}
+		}
+	}
+
+	// The full work list; incremental waves replace it with the dirty
+	// subset.
+	r.allNets = make([]int32, nNets)
+	for i := range r.allNets {
+		r.allNets[i] = int32(i)
+	}
+	if opt.Incremental {
+		r.inc = newIncState(chip, drv, opt)
+	}
+
+	r.workerCounts = make([][]int64, r.threads)
+	for i := range r.workerCounts {
+		r.workerCounts[i] = make([]int64, len(drv.names))
+	}
+	return r, nil
+}
+
+// runWaves executes opt.Waves rip-up-and-reroute iterations on the
+// state: dirty-net scheduling (incremental mode), the parallel per-net
+// oracle solves, usage accounting and the Lagrangean price updates.
+func (r *runState) runWaves() error {
+	ctx, chip, opt, drv := r.ctx, r.chip, r.opt, r.drv
+	g := chip.G
+	nl := chip.NL
+	nNets := len(nl.Nets)
+	threads := r.threads
+
+	for wave := 0; wave < opt.Waves; wave++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		costs := r.pricer.Costs()
+		capture := wave == opt.CaptureWave
+
+		work := r.allNets
+		deltaSegs := 0
+		if r.inc != nil {
+			// Dirty-net scheduling: invalidate nets whose cached tree got
+			// repriced or whose timing inputs drifted. Wave 0 marks every
+			// net dirty (nothing has been solved yet); a warm-started run
+			// instead seeds wave 0 with the instance diff.
+			work, deltaSegs = r.inc.computeDirty(costs, r.trees, r.weights, r.budgets)
+		}
+		nWork := len(work)
+
+		workerUsage := make([]*cong.Usage, threads)
+		workerErr := make([]error, threads)
+		captured := make([][]*nets.Instance, threads)
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < threads; w++ {
+			if r.inc == nil {
+				workerUsage[w] = cong.NewUsage(g)
+			}
+			wg.Add(1)
+			go func(worker int) {
+				defer wg.Done()
+				// Each worker solves through its own arena; results are
+				// unchanged (solves are per-instance deterministic) while
+				// per-net solver allocations disappear. Any caller-provided
+				// scratch is overridden — sharing one across workers would
+				// race.
+				wopt := opt
+				wopt.CoreOpt.Scratch = r.pool.scr[worker]
+				env := oracle.Env{Core: wopt.CoreOpt, PDAlpha: opt.PDAlpha, SLEps: opt.SLEps, LBif: r.lbif}
+				for {
+					// The cancellation point of the hot loop: one check per
+					// net claim, so a kill takes effect within one solve.
+					if ctx.Err() != nil {
+						return
+					}
+					idx := int(next.Add(1)) - 1
+					if idx >= nWork {
+						return
+					}
+					ni := int(work[idx])
+					in := buildInstance(chip, ni, r.weights[ni], costs, r.dbif, opt)
+					in.Budgets = r.budgets[ni]
+					tr, oi, ev, err := drv.solve(in, &env, r.workerCounts[worker])
+					if err != nil {
+						if workerErr[worker] == nil {
+							workerErr[worker] = fmt.Errorf("net %d: %w", ni, err)
+						}
+						continue
+					}
+					if ev == nil {
+						ev, err = nets.Evaluate(in, tr)
+						if err != nil {
+							if workerErr[worker] == nil {
+								workerErr[worker] = fmt.Errorf("net %d eval: %w", ni, err)
+							}
+							continue
+						}
+					}
+					r.trees[ni] = tr
+					copy(r.delays[ni], ev.SinkDelay)
+					if r.inc == nil {
+						for _, st := range tr.Steps {
+							workerUsage[worker].AddArc(st.Arc)
+						}
+					} else {
+						// Snapshot the inputs this solve consumed, the new
+						// tree's cost and region, and which oracle produced
+						// it; workers touch disjoint nets, so this is
+						// race-free.
+						r.inc.noteSolved(ni, r.weights[ni], r.budgets[ni], tr, ev.CongCost, oi)
+					}
+					if capture && len(in.Sinks) >= 1 {
+						captured[worker] = append(captured[worker], snapshot(in))
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		for _, err := range workerErr {
+			if err != nil {
+				return err
+			}
+		}
+		if r.inc == nil {
+			r.usage = cong.NewUsage(g)
+			for _, wu := range workerUsage {
+				r.usage.AddFrom(wu)
+			}
+		} else {
+			// Skipped nets keep their cached tree but still occupy their
+			// tracks: rebuild usage from every tree, cached or fresh, in
+			// net order — deterministic regardless of worker count or of
+			// which nets were skipped.
+			r.usage = cong.NewUsage(g)
+			for _, tr := range r.trees {
+				if tr == nil {
+					continue
+				}
+				for _, st := range tr.Steps {
+					r.usage.AddArc(st.Arc)
+				}
+			}
+		}
+		r.res.Metrics.NetsSolved += int64(nWork)
+		r.res.Metrics.NetsSkipped += int64(nNets - nWork)
+		r.res.Metrics.SolvedPerWave = append(r.res.Metrics.SolvedPerWave, nWork)
+		r.res.Metrics.SkippedPerWave = append(r.res.Metrics.SkippedPerWave, nNets-nWork)
+		r.res.Metrics.DeltaSegsPerWave = append(r.res.Metrics.DeltaSegsPerWave, deltaSegs)
+		if capture {
+			for _, cs := range captured {
+				r.res.Captured = append(r.res.Captured, cs...)
+			}
+		}
+
+		// A quiesced warm wave: nothing was re-solved, so the solution
+		// and its prices are mutually converged at tolerance — skip the
+		// Lagrangean updates rather than drift the restored equilibrium.
+		// This is what makes a zero-perturbation warm start reproduce
+		// the checkpointed objective exactly. Cold waves always update.
+		if r.warm && nWork == 0 {
+			continue
+		}
+
+		// Lagrangean updates: congestion prices, delay weights and the
+		// globally optimized per-sink delay budgets (routed delay plus
+		// the slack the endpoint can still afford) consumed by the
+		// shallow-light baseline, per ref [13].
+		r.pricer.Update(r.usage)
+		timing := sta.Analyze(nl, func(n, k int) float64 { return r.delays[n][k] }, chip.ClkPeriod)
+		for ni := range nl.Nets {
+			if r.budgets[ni] == nil {
+				r.budgets[ni] = make([]float64, len(nl.Nets[ni].Sinks))
+			}
+			for k := range nl.Nets[ni].Sinks {
+				slack := timing.PinSlack(ni, k)
+				w := r.weights[ni][k] * math.Exp(-slack/opt.WeightTau)
+				if w < opt.WeightBase {
+					w = opt.WeightBase
+				}
+				if w > opt.WeightMax {
+					w = opt.WeightMax
+				}
+				r.weights[ni][k] = w
+				b := r.delays[ni][k] + slack
+				if b < 0 {
+					b = 0
+				}
+				r.budgets[ni][k] = b
+			}
+		}
+	}
+	return nil
+}
+
+// buildInstance assembles the cost-distance subproblem for one net under
+// the current prices and weights.
+func buildInstance(chip *chipgen.Chip, ni int, w []float64, costs *grid.Costs, dbif float64, opt Options) *nets.Instance {
+	n := chip.NL.Nets[ni]
+	in := &nets.Instance{
+		G: chip.G, C: costs,
+		Root: chip.PinVertex(n.Driver),
+		DBif: dbif, Eta: opt.Eta,
+		Seed: opt.Seed*0x9E3779B9 + uint64(ni),
+	}
+	for k, s := range n.Sinks {
+		in.Sinks = append(in.Sinks, nets.Sink{V: chip.PinVertex(s), W: w[k]})
+	}
+	in.Win = in.DefaultWindow(opt.Margin)
+	return in
+}
+
+// snapshot deep-copies an instance so it stays valid after the pricer
+// mutates the shared multipliers (Tables I/II instance capture).
+func snapshot(in *nets.Instance) *nets.Instance {
+	c := *in.C
+	c.Mult = append([]float32{}, in.C.Mult...)
+	out := *in
+	out.C = &c
+	out.Sinks = append([]nets.Sink{}, in.Sinks...)
+	return &out
+}

@@ -29,7 +29,12 @@ func (s JobStatus) terminal() bool {
 // /v1/jobs/{id} and by server shutdown, and the routing run checks it
 // between nets, so cancellation takes effect within one solve latency.
 type job struct {
-	id     string
+	id string
+	// ckey is the job's route content address; the warm-start
+	// checkpoint store is keyed by it, so identical requests (and
+	// cache-hit followers of them) resolve to one retained checkpoint.
+	// Immutable after create.
+	ckey   string
 	ctx    context.Context
 	cancel context.CancelFunc
 	done   chan struct{} // closed on any terminal transition
@@ -131,13 +136,15 @@ func newJobRegistry() *jobRegistry {
 	return &jobRegistry{jobs: map[string]*job{}}
 }
 
-// create registers a new queued job whose context descends from base.
-func (r *jobRegistry) create(base context.Context) *job {
+// create registers a new queued job whose context descends from base;
+// ckey is the job's route content address ("" for non-route jobs).
+func (r *jobRegistry) create(base context.Context, ckey string) *job {
 	ctx, cancel := context.WithCancel(base)
 	r.mu.Lock()
 	r.seq++
 	j := &job{
 		id:       fmt.Sprintf("job-%06d", r.seq),
+		ckey:     ckey,
 		ctx:      ctx,
 		cancel:   cancel,
 		done:     make(chan struct{}),

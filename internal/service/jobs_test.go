@@ -10,9 +10,9 @@ import (
 // cap are evicted oldest-first, live jobs never are.
 func TestJobRegistryEvictsOldestTerminal(t *testing.T) {
 	r := newJobRegistry()
-	live := r.create(context.Background()) // stays queued forever
+	live := r.create(context.Background(), "") // stays queued forever
 	for i := 0; i < maxRetainedJobs+10; i++ {
-		j := r.create(context.Background())
+		j := r.create(context.Background(), "")
 		j.finish(JobDone, []byte("x"), "")
 	}
 	r.mu.Lock()

@@ -52,6 +52,13 @@ type metrics struct {
 	badRequests   atomic.Int64 // 4xx responses
 	queueRejects  atomic.Int64 // 503 queue-full responses
 
+	// warmStartHits/Misses count route jobs that named a base_job and
+	// found / did not find its retained checkpoint; netsReused sums the
+	// warm runs' NetsSkipped — the solves the checkpoints saved.
+	warmStartHits   atomic.Int64
+	warmStartMisses atomic.Int64
+	netsReused      atomic.Int64
+
 	solveLatency *histogram // time-to-response of /v1/solve (hits and misses)
 	jobLatency   *histogram // run time of route jobs
 
@@ -89,7 +96,7 @@ func (m *metrics) oracleCounts() map[string]int64 {
 // exposition of every server counter — request totals, queue depth,
 // cache hit/miss/byte gauges, per-oracle solve counts and the latency
 // histograms.
-func renderMetrics(m *metrics, cs CacheStats, queueDepth int, jobs map[string]int) string {
+func renderMetrics(m *metrics, cs, cps CacheStats, queueDepth int, jobs map[string]int) string {
 	var b []byte
 	add := func(format string, args ...any) {
 		b = append(b, fmt.Sprintf(format, args...)...)
@@ -114,6 +121,19 @@ func renderMetrics(m *metrics, cs CacheStats, queueDepth int, jobs map[string]in
 	add("routed_cache_bytes %d\n", cs.Bytes)
 	add("# TYPE routed_cache_entries gauge\n")
 	add("routed_cache_entries %d\n", cs.Entries)
+
+	add("# TYPE routed_warm_starts_total counter\n")
+	add("routed_warm_starts_total{outcome=\"hit\"} %d\n", m.warmStartHits.Load())
+	add("routed_warm_starts_total{outcome=\"miss\"} %d\n", m.warmStartMisses.Load())
+	add("# TYPE routed_warm_start_nets_reused_total counter\n")
+	add("routed_warm_start_nets_reused_total %d\n", m.netsReused.Load())
+
+	add("# TYPE routed_checkpoint_bytes gauge\n")
+	add("routed_checkpoint_bytes %d\n", cps.Bytes)
+	add("# TYPE routed_checkpoint_entries gauge\n")
+	add("routed_checkpoint_entries %d\n", cps.Entries)
+	add("# TYPE routed_checkpoint_evictions_total counter\n")
+	add("routed_checkpoint_evictions_total %d\n", cps.Evictions)
 
 	add("# TYPE routed_jobs gauge\n")
 	for _, st := range sortedKeys(jobs) {

@@ -77,6 +77,12 @@ type Config struct {
 	// after defaulting; the zero value still means the default).
 	// Default: 64 MiB.
 	CacheBytes int64
+	// CheckpointBytes is the byte budget of the warm-start checkpoint
+	// store: every finished route job retains its marshaled RouterState
+	// under this budget (evicted LRU), so later jobs can name it as
+	// base_job and reroute only what changed. ≤ 0 after defaulting
+	// disables retention (every warm start misses). Default: 128 MiB.
+	CheckpointBytes int64
 	// DefaultMethod is the oracle used when a request does not name
 	// one. Default: "cd".
 	DefaultMethod string
@@ -101,6 +107,9 @@ func (c Config) withDefaults() Config {
 	if c.CacheBytes == 0 {
 		c.CacheBytes = 64 << 20
 	}
+	if c.CheckpointBytes == 0 {
+		c.CheckpointBytes = 128 << 20
+	}
 	if c.DefaultMethod == "" {
 		c.DefaultMethod = "cd"
 	}
@@ -112,7 +121,12 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	cfg   Config
 	cache *resultCache
-	jobs  *jobRegistry
+	// checkpoints retains the marshaled RouterState of finished route
+	// jobs, keyed by the job's content address (so identical requests
+	// share one retained checkpoint). Bounded by CheckpointBytes,
+	// evicted LRU.
+	checkpoints *resultCache
+	jobs        *jobRegistry
 	// pool serves synchronous solves (sharded by cache digest);
 	// routePool runs asynchronous route jobs, so unbounded jobs never
 	// queue ahead of bounded-latency solves.
@@ -142,12 +156,13 @@ func New(cfg Config) (*Server, error) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:    cfg,
-		cache:  newResultCache(cfg.CacheBytes),
-		jobs:   newJobRegistry(),
-		met:    newMetrics(),
-		ctx:    ctx,
-		cancel: cancel,
+		cfg:         cfg,
+		cache:       newResultCache(cfg.CacheBytes),
+		checkpoints: newResultCache(cfg.CheckpointBytes),
+		jobs:        newJobRegistry(),
+		met:         newMetrics(),
+		ctx:         ctx,
+		cancel:      cancel,
 	}
 	s.pool = newPool(ctx, cfg.Shards, cfg.WorkersPerShard, cfg.QueueDepth)
 	s.routePool = newPool(ctx, 1, cfg.RouteWorkers, cfg.QueueDepth)
@@ -212,6 +227,19 @@ type SolveRequest struct {
 // suite plus routing options. Defaults: scale 0.01, the server's
 // default oracle, the library's default wave count, seed 1, one routing
 // thread per job (the pool provides the parallelism across jobs).
+//
+// BaseJob names an earlier route job to warm-start from: the server
+// restores that job's retained checkpoint, diffs the (possibly
+// perturbed) chip against it and re-solves only the invalidated nets.
+// A missing, evicted or grid-incompatible base checkpoint falls back
+// to a cold route, counted in
+// routed_warm_starts_total{outcome="miss"}; such fallback results are
+// served but never cached (their key includes base_job, and the cache
+// must stay a pure function of the request). PerturbFrac
+// applies an ECO-style perturbation to the generated chip before
+// routing (PerturbSeed drives it; see costdist.PerturbChip), which is
+// how a client describes "the same chip, slightly changed" against the
+// deterministic synthetic suite.
 type RouteRequest struct {
 	Chip        string  `json:"chip"`
 	Scale       float64 `json:"scale,omitempty"`
@@ -220,6 +248,9 @@ type RouteRequest struct {
 	Seed        uint64  `json:"seed,omitempty"`
 	Threads     int     `json:"threads,omitempty"`
 	Incremental bool    `json:"incremental,omitempty"`
+	BaseJob     string  `json:"base_job,omitempty"`
+	PerturbFrac float64 `json:"perturb_frac,omitempty"`
+	PerturbSeed uint64  `json:"perturb_seed,omitempty"`
 }
 
 // JobView is the job status representation returned by the jobs
@@ -446,6 +477,19 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 			maxRouteScale, maxRouteWaves, maxRouteThreads)
 		return
 	}
+	if req.PerturbFrac < 0 || req.PerturbFrac > 1 {
+		s.httpError(w, http.StatusUnprocessableEntity,
+			"perturb_frac %g outside [0,1]", req.PerturbFrac)
+		return
+	}
+	// Normalize the perturbation fields so equivalent spellings share a
+	// content address: without a perturbation the seed is meaningless,
+	// with one the zero seed means the default.
+	if req.PerturbFrac == 0 {
+		req.PerturbSeed = 0
+	} else if req.PerturbSeed == 0 {
+		req.PerturbSeed = 1
+	}
 	if req.Oracle == "" {
 		req.Oracle = s.cfg.DefaultMethod
 	}
@@ -487,7 +531,9 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 	// The resolved request is the route's content address: requests
 	// that normalize identically share one cached result. Threads is
 	// excluded — results are thread-count independent (locked by the
-	// route determinism tests), so it must not split the cache.
+	// route determinism tests), so it must not split the cache. BaseJob
+	// is included: a warm-started route is its own outcome (the trees
+	// depend on the restored state), keyed by the base job's identity.
 	kreq := req
 	kreq.Threads = 0
 	resolved, _ := json.Marshal(kreq)
@@ -496,7 +542,7 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 	h.Write(resolved)
 	key := hex.EncodeToString(h.Sum(nil))
 
-	jb := s.jobs.create(s.ctx)
+	jb := s.jobs.create(s.ctx, key)
 	if cached, ok := s.cache.Get(key); ok {
 		jb.finishShared(JobDone, cached, "")
 		w.Header().Set("X-Cache", "hit")
@@ -546,7 +592,7 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 		// Delete only our own entry — a dead-leader takeover may have
 		// already replaced it with a newer job.
 		defer s.routeInflight.CompareAndDelete(key, jb)
-		s.runRouteJob(jb, spec, m, ropt, key)
+		s.runRouteJob(jb, req, spec, m, ropt, key)
 	})
 	if !submitted {
 		// The client never learns this job id; drop the entry rather
@@ -567,7 +613,13 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 // abort between per-net solves. The route job's own Threads (default 1)
 // stay inside this worker's slot; cross-request parallelism comes from
 // the pool.
-func (s *Server) runRouteJob(job *job, spec costdist.ChipSpec, m costdist.Method, ropt costdist.RouterOptions, key string) {
+//
+// Every successful job retains its marshaled checkpoint under the
+// job's content address (bounded by CheckpointBytes, evicted LRU). A
+// request naming a BaseJob warm-starts from that job's checkpoint when
+// it is still retained; otherwise it falls back to a cold route and
+// counts a warm-start miss.
+func (s *Server) runRouteJob(job *job, req RouteRequest, spec costdist.ChipSpec, m costdist.Method, ropt costdist.RouterOptions, key string) {
 	if st, _, _ := job.view(); st.terminal() {
 		return // cancelled while queued
 	}
@@ -590,26 +642,95 @@ func (s *Server) runRouteJob(job *job, spec costdist.ChipSpec, m costdist.Method
 		fail(err)
 		return
 	}
+	if req.PerturbFrac > 0 {
+		chip, _, err = costdist.PerturbChip(chip, req.PerturbFrac, req.PerturbSeed)
+		if err != nil {
+			fail(err)
+			return
+		}
+	}
 	if err := job.ctx.Err(); err != nil {
 		fail(err)
 		return
 	}
-	res, err := costdist.RouteChipCtx(job.ctx, chip, m, ropt)
+	retain := s.cfg.CheckpointBytes > 0
+	base := s.baseCheckpoint(req.BaseJob, chip)
+	var res *costdist.RouteResult
+	var cp *costdist.RouterState
+	switch {
+	case base != nil:
+		res, cp, err = costdist.RouteChipCtxFrom(job.ctx, base, chip, m, ropt)
+	case retain:
+		res, cp, err = costdist.RouteChipCtxCheckpoint(job.ctx, chip, m, ropt)
+	default:
+		// Checkpoint retention disabled: skip building and marshaling
+		// multi-MB state nobody can ever warm-start from.
+		res, err = costdist.RouteChipCtx(job.ctx, chip, m, ropt)
+	}
 	if err != nil {
 		fail(err)
 		return
+	}
+	if base != nil {
+		s.met.netsReused.Add(res.Metrics.NetsSkipped)
 	}
 	out, err := costdist.MarshalRouteResult(chip, res)
 	if err != nil {
 		fail(err)
 		return
 	}
-	s.cache.Put(key, out)
+	if retain && cp != nil {
+		if blob, err := costdist.MarshalCheckpoint(cp); err == nil {
+			s.checkpoints.Put(key, blob)
+		}
+	}
+	// A warm request that fell back cold (base checkpoint missing or
+	// incompatible) must not populate the result cache: its key
+	// includes base_job, and pinning the cold outcome there would keep
+	// serving it even after the base state becomes available again —
+	// the cache must only ever hold values that are a pure function of
+	// the request.
+	if req.BaseJob == "" || base != nil {
+		s.cache.Put(key, out)
+	}
 	for name, n := range res.Metrics.SolvesByOracle {
 		s.met.chargeOracle(name, n)
 	}
 	s.met.jobLatency.Observe(time.Since(start).Seconds())
 	job.finish(JobDone, out, "")
+}
+
+// baseCheckpoint resolves a warm-start request: the named job's
+// retained checkpoint, unmarshaled and verified compatible with the
+// chip about to be routed, or nil (counting a miss) when the job is
+// unknown, its checkpoint was evicted or fails to decode, or the
+// checkpoint binds a different grid (e.g. a base job at another
+// scale). An empty id is a cold request and counts nothing.
+func (s *Server) baseCheckpoint(baseJob string, chip *costdist.Chip) *costdist.RouterState {
+	if baseJob == "" {
+		return nil
+	}
+	miss := func() *costdist.RouterState {
+		s.met.warmStartMisses.Add(1)
+		return nil
+	}
+	bj, ok := s.jobs.get(baseJob)
+	if !ok {
+		return miss()
+	}
+	blob, ok := s.checkpoints.Get(bj.ckey)
+	if !ok {
+		return miss()
+	}
+	st, err := costdist.UnmarshalCheckpoint(blob)
+	if err != nil {
+		return miss()
+	}
+	if err := st.CompatibleWith(chip.G); err != nil {
+		return miss()
+	}
+	s.met.warmStartHits.Add(1)
+	return st
 }
 
 func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
@@ -669,6 +790,6 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	_, _ = io.WriteString(w, renderMetrics(s.met, s.cache.Stats(),
+	_, _ = io.WriteString(w, renderMetrics(s.met, s.cache.Stats(), s.checkpoints.Stats(),
 		s.pool.depth()+s.routePool.depth(), s.jobs.statusCounts()))
 }

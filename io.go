@@ -3,6 +3,8 @@ package costdist
 import (
 	"encoding/json"
 	"fmt"
+	"math"
+	"strconv"
 
 	"costdist/internal/grid"
 )
@@ -264,10 +266,12 @@ type RouteTreeJSON struct {
 }
 
 // RouteMetricsJSON is the serialized RouteMetrics. Walltime is
-// deliberately absent: it is the one nondeterministic field, and
-// dropping it keeps MarshalRouteResult a pure function of the routing
-// outcome — required for the service layer's content-addressed result
-// cache and its byte-identity guarantees.
+// deliberately absent: it is the one nondeterministic field (see the
+// RouteMetrics doc), and dropping it keeps every wire form a pure
+// function of the routing outcome — required for the service layer's
+// content-addressed result cache and the byte-stable checkpoint codec.
+// All conversions go through routeMetricsJSON/routeMetricsFromJSON so
+// the exclusion lives in exactly one place.
 type RouteMetricsJSON struct {
 	WS               float64          `json:"ws_ps"`
 	TNS              float64          `json:"tns_ps"`
@@ -292,6 +296,37 @@ type RouteResultJSON struct {
 	Trees   []*RouteTreeJSON `json:"trees"`
 }
 
+// routeMetricsJSON converts a metric row to its wire form. Walltime is
+// excluded here — the single place the one nondeterministic field is
+// dropped — so MarshalRouteResult and MarshalCheckpoint can never
+// disagree about what makes a serialized row deterministic.
+func routeMetricsJSON(mt RouteMetrics) RouteMetricsJSON {
+	return RouteMetricsJSON{
+		WS: mt.WS, TNS: mt.TNS, ACE4: mt.ACE4, WLm: mt.WLm,
+		Vias: mt.Vias, Overflow: mt.Overflow, Objective: mt.Objective,
+		NetsSolved: mt.NetsSolved, NetsSkipped: mt.NetsSkipped,
+		SolvedPerWave:    mt.SolvedPerWave,
+		SkippedPerWave:   mt.SkippedPerWave,
+		DeltaSegsPerWave: mt.DeltaSegsPerWave,
+		SolvesByOracle:   mt.SolvesByOracle,
+	}
+}
+
+// routeMetricsFromJSON is the inverse of routeMetricsJSON (Walltime,
+// which is not serialized, comes back zero).
+func routeMetricsFromJSON(f RouteMetricsJSON) RouteMetrics {
+	return RouteMetrics{
+		WS: f.WS, TNS: f.TNS, ACE4: f.ACE4,
+		WLm: f.WLm, Vias: f.Vias,
+		Overflow: f.Overflow, Objective: f.Objective,
+		NetsSolved: f.NetsSolved, NetsSkipped: f.NetsSkipped,
+		SolvedPerWave:    f.SolvedPerWave,
+		SkippedPerWave:   f.SkippedPerWave,
+		DeltaSegsPerWave: f.DeltaSegsPerWave,
+		SolvesByOracle:   f.SolvesByOracle,
+	}
+}
+
 // MarshalRouteResult serializes a routing result against the chip it
 // was produced on. The output is deterministic for a deterministic run
 // (map keys sort, Walltime is excluded), so identical route requests
@@ -300,18 +335,9 @@ func MarshalRouteResult(chip *Chip, res *RouteResult) ([]byte, error) {
 	if res == nil {
 		return nil, fmt.Errorf("costdist: nil route result")
 	}
-	mt := res.Metrics
 	out := RouteResultJSON{
-		Metrics: RouteMetricsJSON{
-			WS: mt.WS, TNS: mt.TNS, ACE4: mt.ACE4, WLm: mt.WLm,
-			Vias: mt.Vias, Overflow: mt.Overflow, Objective: mt.Objective,
-			NetsSolved: mt.NetsSolved, NetsSkipped: mt.NetsSkipped,
-			SolvedPerWave:    mt.SolvedPerWave,
-			SkippedPerWave:   mt.SkippedPerWave,
-			DeltaSegsPerWave: mt.DeltaSegsPerWave,
-			SolvesByOracle:   mt.SolvesByOracle,
-		},
-		Trees: make([]*RouteTreeJSON, len(res.Trees)),
+		Metrics: routeMetricsJSON(res.Metrics),
+		Trees:   make([]*RouteTreeJSON, len(res.Trees)),
 	}
 	for i, tr := range res.Trees {
 		if tr == nil {
@@ -334,16 +360,7 @@ func UnmarshalRouteResult(chip *Chip, data []byte) (*RouteResult, error) {
 		return nil, fmt.Errorf("costdist: parsing route result: %w", err)
 	}
 	res := &RouteResult{}
-	res.Metrics = RouteMetrics{
-		WS: f.Metrics.WS, TNS: f.Metrics.TNS, ACE4: f.Metrics.ACE4,
-		WLm: f.Metrics.WLm, Vias: f.Metrics.Vias,
-		Overflow: f.Metrics.Overflow, Objective: f.Metrics.Objective,
-		NetsSolved: f.Metrics.NetsSolved, NetsSkipped: f.Metrics.NetsSkipped,
-		SolvedPerWave:    f.Metrics.SolvedPerWave,
-		SkippedPerWave:   f.Metrics.SkippedPerWave,
-		DeltaSegsPerWave: f.Metrics.DeltaSegsPerWave,
-		SolvesByOracle:   f.Metrics.SolvesByOracle,
-	}
+	res.Metrics = routeMetricsFromJSON(f.Metrics)
 	if len(f.Trees) > 0 {
 		res.Trees = make([]*Tree, len(f.Trees))
 		for i, tj := range f.Trees {
@@ -358,6 +375,228 @@ func UnmarshalRouteResult(chip *Chip, data []byte) (*RouteResult, error) {
 		}
 	}
 	return res, nil
+}
+
+// CheckpointVersion is the wire-format version MarshalCheckpoint
+// writes; UnmarshalCheckpoint rejects documents from a different
+// version instead of guessing at their layout.
+const CheckpointVersion = 1
+
+// budgetsJSON carries a per-sink delay budget vector on the wire. A
+// sink with no timing endpoint downstream has budget +Inf
+// ("unconstrained"), which JSON numbers cannot express — it is encoded
+// as null. Both directions are implemented here, so the encoding is
+// lossless and byte-stable.
+type budgetsJSON []float64
+
+func (b budgetsJSON) MarshalJSON() ([]byte, error) {
+	out := make([]byte, 0, 16*len(b)+2)
+	out = append(out, '[')
+	for i, v := range b {
+		if i > 0 {
+			out = append(out, ',')
+		}
+		if math.IsInf(v, 1) {
+			out = append(out, "null"...)
+			continue
+		}
+		if math.IsInf(v, -1) || math.IsNaN(v) {
+			return nil, fmt.Errorf("costdist: budget %d is %v, not serializable", i, v)
+		}
+		out = strconv.AppendFloat(out, v, 'g', -1, 64)
+	}
+	return append(out, ']'), nil
+}
+
+func (b *budgetsJSON) UnmarshalJSON(data []byte) error {
+	var raw []*float64
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	*b = make([]float64, len(raw))
+	for i, p := range raw {
+		if p == nil {
+			(*b)[i] = math.Inf(1)
+		} else {
+			(*b)[i] = *p
+		}
+	}
+	return nil
+}
+
+// CheckpointNetJSON is one net's externalized state inside a
+// CheckpointJSON document: the terminal signature the warm-start diff
+// keys on, the Lagrangean timing state, the cached tree (absent if the
+// net was never routed) with its rebaselined solve snapshot.
+type CheckpointNetJSON struct {
+	Driver   [2]int32       `json:"driver"`
+	Sinks    [][2]int32     `json:"sinks"`
+	Weights  []float64      `json:"weights"`
+	Budgets  budgetsJSON    `json:"budgets"`
+	Delays   []float64      `json:"delays"`
+	LastCost float64        `json:"last_cost"`
+	Oracle   string         `json:"oracle,omitempty"`
+	Tree     *RouteTreeJSON `json:"tree,omitempty"`
+}
+
+// CheckpointJSON is the versioned wire form of a RouterState: the grid
+// signature, the chip-wide price vectors, the producing run's metric
+// row (Walltime excluded, via the same routeMetricsJSON helper as
+// MarshalRouteResult) and every net's state. Marshaling is compact and
+// byte-stable: marshal → unmarshal → marshal reproduces the input
+// bytes exactly, which is what lets the service layer content-address
+// retained checkpoints.
+type CheckpointJSON struct {
+	Version   int                 `json:"version"`
+	Method    string              `json:"method"`
+	NX        int32               `json:"nx"`
+	NY        int32               `json:"ny"`
+	Layers    int                 `json:"layers"`
+	LayerDirs string              `json:"layer_dirs"`
+	Cap       []float32           `json:"cap"`
+	Mult      []float32           `json:"mult"`
+	Ref       []float32           `json:"ref"`
+	Metrics   RouteMetricsJSON    `json:"metrics"`
+	Nets      []CheckpointNetJSON `json:"nets"`
+}
+
+// MarshalCheckpoint serializes a router checkpoint into its versioned,
+// byte-stable wire form. Identical states marshal to identical bytes.
+func MarshalCheckpoint(st *RouterState) ([]byte, error) {
+	if st == nil {
+		return nil, fmt.Errorf("costdist: nil checkpoint state")
+	}
+	g, err := checkpointGraph(st.NX, st.NY, st.Layers, st.LayerDirs)
+	if err != nil {
+		return nil, err
+	}
+	out := CheckpointJSON{
+		Version:   CheckpointVersion,
+		Method:    st.Method,
+		NX:        st.NX,
+		NY:        st.NY,
+		Layers:    st.Layers,
+		LayerDirs: st.LayerDirs,
+		Cap:       st.Cap,
+		Mult:      st.Mult,
+		Ref:       st.Ref,
+		Metrics:   routeMetricsJSON(st.Metrics),
+		Nets:      make([]CheckpointNetJSON, len(st.Nets)),
+	}
+	for ni := range st.Nets {
+		ns := &st.Nets[ni]
+		nj := CheckpointNetJSON{
+			Driver:   [2]int32{ns.Sig.Driver.X, ns.Sig.Driver.Y},
+			Sinks:    make([][2]int32, len(ns.Sig.Sinks)),
+			Weights:  ns.Weights,
+			Budgets:  budgetsJSON(ns.Budgets),
+			Delays:   ns.Delays,
+			LastCost: ns.LastCost,
+			Oracle:   ns.Oracle,
+		}
+		for k, p := range ns.Sig.Sinks {
+			nj.Sinks[k] = [2]int32{p.X, p.Y}
+		}
+		if ns.Tree != nil {
+			tj := &RouteTreeJSON{}
+			tj.Edges, tj.WireTypes = encodeTreeSteps(g, ns.Tree)
+			nj.Tree = tj
+		}
+		out.Nets[ni] = nj
+	}
+	return json.Marshal(&out)
+}
+
+// UnmarshalCheckpoint decodes a checkpoint document back into a
+// RouterState — the inverse of MarshalCheckpoint. Trees are validated
+// against a reconstruction of the checkpointed grid (the default
+// technology at the stored layer count), exactly like UnmarshalTree
+// validates standalone trees.
+func UnmarshalCheckpoint(data []byte) (*RouterState, error) {
+	var f CheckpointJSON
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("costdist: parsing checkpoint: %w", err)
+	}
+	if f.Version != CheckpointVersion {
+		return nil, fmt.Errorf("costdist: checkpoint version %d unsupported (want %d)", f.Version, CheckpointVersion)
+	}
+	g, err := checkpointGraph(f.NX, f.NY, f.Layers, f.LayerDirs)
+	if err != nil {
+		return nil, err
+	}
+	nSegs := int(g.NumSegs())
+	if len(f.Cap) != nSegs || len(f.Mult) != nSegs || len(f.Ref) != nSegs {
+		return nil, fmt.Errorf("costdist: checkpoint has %d/%d/%d cap/mult/ref segments, grid has %d",
+			len(f.Cap), len(f.Mult), len(f.Ref), nSegs)
+	}
+	st := &RouterState{
+		Method:    f.Method,
+		NX:        f.NX,
+		NY:        f.NY,
+		Layers:    f.Layers,
+		LayerDirs: f.LayerDirs,
+		Cap:       f.Cap,
+		Mult:      f.Mult,
+		Ref:       f.Ref,
+		Metrics:   routeMetricsFromJSON(f.Metrics),
+		Nets:      make([]RouterNetState, len(f.Nets)),
+	}
+	for ni := range f.Nets {
+		nj := &f.Nets[ni]
+		// Per-sink vectors must match the sink count — the restored
+		// scheduler indexes them by pin position, so a truncated vector
+		// that slipped through here would panic deep inside a wave.
+		if k := len(nj.Sinks); len(nj.Weights) != k || len(nj.Budgets) != k || len(nj.Delays) != k {
+			return nil, fmt.Errorf("costdist: checkpoint net %d has %d sinks but %d/%d/%d weights/budgets/delays",
+				ni, k, len(nj.Weights), len(nj.Budgets), len(nj.Delays))
+		}
+		sig := PinSig{Driver: Pt{X: nj.Driver[0], Y: nj.Driver[1]}}
+		sig.Sinks = make([]Pt, len(nj.Sinks))
+		for k, s := range nj.Sinks {
+			sig.Sinks[k] = Pt{X: s[0], Y: s[1]}
+		}
+		ns := RouterNetState{
+			Sig:      sig,
+			Weights:  nj.Weights,
+			Budgets:  []float64(nj.Budgets),
+			Delays:   nj.Delays,
+			LastCost: nj.LastCost,
+			Oracle:   nj.Oracle,
+		}
+		if nj.Tree != nil {
+			tr, err := decodeTreeSteps(g, nj.Tree.Edges, nj.Tree.WireTypes)
+			if err != nil {
+				return nil, fmt.Errorf("checkpoint net %d: %w", ni, err)
+			}
+			ns.Tree = tr
+		}
+		st.Nets[ni] = ns
+	}
+	return st, nil
+}
+
+// checkpointGraph reconstructs the routing grid a checkpoint is bound
+// to: the default technology at the stored layer count. The stored
+// layer directions must match the reconstruction — checkpoints of
+// custom layer stacks have no wire form.
+func checkpointGraph(nx, ny int32, layers int, dirs string) (*grid.Graph, error) {
+	if nx < 1 || ny < 1 || layers < 2 || layers > 1024 {
+		return nil, fmt.Errorf("costdist: checkpoint grid %dx%dx%d invalid", nx, ny, layers)
+	}
+	tech := DefaultTech(layers)
+	g := NewGrid(nx, ny, tech.BuildLayers(), tech.GCellUM)
+	got := make([]byte, len(g.Layers))
+	for i := range g.Layers {
+		got[i] = 'H'
+		if g.Layers[i].Dir == grid.DirV {
+			got[i] = 'V'
+		}
+	}
+	if string(got) != dirs {
+		return nil, fmt.Errorf("costdist: checkpoint layer directions %q do not match the default %d-layer stack %q",
+			dirs, layers, got)
+	}
+	return g, nil
 }
 
 func vertexAt(g *grid.Graph, p [3]int32) (grid.V, error) {

@@ -2,6 +2,8 @@ package costdist
 
 import (
 	"bytes"
+	"encoding/json"
+	"math"
 	"os"
 	"reflect"
 	"testing"
@@ -179,5 +181,98 @@ func TestUnmarshalRouteResultRejectsCorruptTrees(t *testing.T) {
 	}
 	if _, err := UnmarshalRouteResult(chip, []byte("{")); err == nil {
 		t.Fatal("accepted malformed JSON")
+	}
+}
+
+// The checkpoint codec must reject documents it cannot faithfully
+// decode: wrong version, mangled layer directions, mismatched vector
+// lengths, corrupt trees.
+func TestUnmarshalCheckpointRejectsCorruptDocuments(t *testing.T) {
+	chip, err := GenerateChip(ChipSuite(0.002)[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := DefaultRouterOptions()
+	opt.Waves = 1
+	_, st, err := RouteChipCheckpoint(chip, CD, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := MarshalCheckpoint(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalCheckpoint(blob); err != nil {
+		t.Fatalf("valid checkpoint rejected: %v", err)
+	}
+
+	corrupt := func(name string, edit func(cp *CheckpointJSON)) {
+		t.Helper()
+		var cp CheckpointJSON
+		if err := json.Unmarshal(blob, &cp); err != nil {
+			t.Fatal(err)
+		}
+		edit(&cp)
+		bad, err := json.Marshal(&cp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := UnmarshalCheckpoint(bad); err == nil {
+			t.Errorf("%s: corrupt checkpoint accepted", name)
+		}
+	}
+	corrupt("version", func(cp *CheckpointJSON) { cp.Version = 99 })
+	corrupt("layer dirs", func(cp *CheckpointJSON) { cp.LayerDirs = "XXXX" })
+	corrupt("short mult", func(cp *CheckpointJSON) { cp.Mult = cp.Mult[:3] })
+	corrupt("tiny grid", func(cp *CheckpointJSON) { cp.NX = 0 })
+	corrupt("truncated weights", func(cp *CheckpointJSON) { cp.Nets[0].Weights = nil })
+	corrupt("truncated delays", func(cp *CheckpointJSON) {
+		cp.Nets[0].Delays = append(cp.Nets[0].Delays, 1)
+	})
+	corrupt("corrupt tree", func(cp *CheckpointJSON) {
+		for i := range cp.Nets {
+			if tr := cp.Nets[i].Tree; tr != nil && len(tr.Edges) > 0 {
+				tr.Edges[0][1] = [3]int32{tr.Edges[0][0][0] + 5, tr.Edges[0][0][1], tr.Edges[0][0][2]}
+				return
+			}
+		}
+		t.Fatal("no tree to corrupt")
+	})
+	if _, err := UnmarshalCheckpoint([]byte("{")); err == nil {
+		t.Error("truncated document accepted")
+	}
+}
+
+// Unconstrained sinks carry +Inf budgets; the codec encodes them as
+// null and must bring them back as +Inf.
+func TestCheckpointBudgetInfRoundTrip(t *testing.T) {
+	chip, err := GenerateChip(ChipSuite(0.002)[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := DefaultRouterOptions()
+	opt.Waves = 1
+	_, st, err := RouteChipCheckpoint(chip, CD, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Nets[0].Budgets[0] = math.Inf(1)
+	blob, err := MarshalCheckpoint(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := UnmarshalCheckpoint(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(st2.Nets[0].Budgets[0], 1) {
+		t.Fatalf("budget came back %v, want +Inf", st2.Nets[0].Budgets[0])
+	}
+	blob2, err := MarshalCheckpoint(st2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob, blob2) {
+		t.Fatal("Inf budgets break byte stability")
 	}
 }
