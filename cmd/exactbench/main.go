@@ -1,0 +1,263 @@
+// Command exactbench measures the goal-oriented exact solver
+// (SolveExactGoal) against the Dreyfus–Wagner DP (SolveExact) — the
+// generator of BENCH_exact.json. Two scenarios:
+//
+//   - Head-to-head: seeded instances both solvers can finish. Each run
+//     cross-checks the certified lower bounds and records the speedup
+//     of the goal solver (including its CD warm-up, which seeds the
+//     incumbent upper bound — that is the production pipeline).
+//
+//   - Beyond-DP: a larger instance the DP cannot certify inside
+//     -dp-timeout. The goal solver certifies it first; the DP then gets
+//     its timeout on a watchdog goroutine (the DP has no cancellation
+//     hook — the abandoned attempt is left to the process exit). A
+//     window past the DP's state-space guard (64M states) is rejected
+//     before the watchdog even starts; the report records the reason.
+//
+// Usage:
+//
+//	exactbench [-seeds 5] [-head-nx 128 -head-spread 10 -head-sinks 8] \
+//	           [-beyond-nx 80 -beyond-spread 8 -beyond-sinks 12] \
+//	           [-dp-timeout 60s] [-out BENCH_exact.json]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"os"
+	"runtime"
+	"time"
+
+	"costdist"
+)
+
+// genInstance mirrors the differential harness' generator — a seeded
+// random instance with priced congestion patches over an nx×nx×3 grid —
+// with one twist: terminals land inside a random spread×spread patch
+// while the routing window stays the full grid. That is the shape of a
+// real global-routing net (net bbox ≪ chip window), and the shape the
+// two solvers diverge on: the DP pays for every window vertex, the goal
+// search prunes to the terminal bbox plus its slack radius.
+func genInstance(seed uint64, nx, spread int32, sinks int, dbif float64) *costdist.Instance {
+	rng := rand.New(rand.NewPCG(seed, 0xD1FF))
+	tech := costdist.DefaultTech(3)
+	g := costdist.NewGrid(nx, nx, costdist.BuildLayers(tech), tech.GCellUM)
+	c := costdist.NewCosts(g)
+	for i := range c.Mult {
+		if rng.IntN(4) == 0 {
+			c.Mult[i] = 1 + 3*rng.Float32()
+		}
+	}
+	if spread <= 0 || spread > nx {
+		spread = nx
+	}
+	x0, y0 := rng.Int32N(nx-spread+1), rng.Int32N(nx-spread+1)
+	at := func() costdist.Vertex {
+		return g.At(x0+rng.Int32N(spread), y0+rng.Int32N(spread), 0)
+	}
+	in := &costdist.Instance{
+		G: g, C: c,
+		Root: at(),
+		DBif: dbif, Eta: 0.25, Seed: seed,
+		Win: g.FullWindow(),
+	}
+	used := map[costdist.Vertex]bool{in.Root: true}
+	for len(in.Sinks) < sinks {
+		v := at()
+		if used[v] {
+			continue
+		}
+		used[v] = true
+		w := 0.001 + 0.009*rng.Float64()
+		if rng.IntN(4) == 0 {
+			w = 0.02 + 0.03*rng.Float64()
+		}
+		in.Sinks = append(in.Sinks, costdist.Sink{V: v, W: w})
+	}
+	return in
+}
+
+// solveGoalSeeded runs the production exact pipeline: CD heuristic for
+// the incumbent upper bound, then the goal-oriented search.
+func solveGoalSeeded(in *costdist.Instance) (*costdist.ExactResult, error) {
+	cd, err := costdist.SolveCD(in, costdist.DefaultCDOptions())
+	if err != nil {
+		return nil, fmt.Errorf("cd warm-up: %w", err)
+	}
+	ev, err := costdist.Evaluate(in, cd)
+	if err != nil {
+		return nil, fmt.Errorf("cd evaluate: %w", err)
+	}
+	lim := costdist.DefaultExactGoalLimits()
+	lim.UpperBound = ev.Total
+	return costdist.SolveExactGoalLimits(context.Background(), in, lim)
+}
+
+type headRunJSON struct {
+	Seed        uint64  `json:"seed"`
+	LowerBound  float64 `json:"lower_bound"`
+	DPMS        float64 `json:"dp_ms"`
+	GoalMS      float64 `json:"goal_ms"`
+	GoalSettled int64   `json:"goal_settled_labels"`
+	Speedup     float64 `json:"speedup"`
+}
+
+type headJSON struct {
+	NX             int32         `json:"nx"`
+	Spread         int32         `json:"spread"`
+	Sinks          int           `json:"sinks"`
+	Runs           []headRunJSON `json:"runs"`
+	GeomeanSpeedup float64       `json:"geomean_speedup"`
+}
+
+type beyondJSON struct {
+	NX          int32   `json:"nx"`
+	Spread      int32   `json:"spread"`
+	Sinks       int     `json:"sinks"`
+	Seed        uint64  `json:"seed"`
+	DPTimeoutS  float64 `json:"dp_timeout_s"`
+	DPFinished  bool    `json:"dp_finished"`
+	DPError     string  `json:"dp_error,omitempty"`
+	DPMS        float64 `json:"dp_ms,omitempty"`
+	GoalMS      float64 `json:"goal_ms"`
+	GoalSettled int64   `json:"goal_settled_labels"`
+	LowerBound  float64 `json:"lower_bound"`
+	CDGapPct    float64 `json:"cd_gap_pct"`
+}
+
+type reportJSON struct {
+	Date       string     `json:"date"`
+	Go         string     `json:"go"`
+	CPUs       int        `json:"cpus"`
+	HeadToHead headJSON   `json:"head_to_head"`
+	BeyondDP   beyondJSON `json:"beyond_dp"`
+}
+
+func main() {
+	seeds := flag.Int("seeds", 5, "head-to-head instances")
+	headNX := flag.Int("head-nx", 128, "head-to-head grid side")
+	headSpread := flag.Int("head-spread", 10, "head-to-head terminal patch side (0 = whole grid)")
+	headSinks := flag.Int("head-sinks", 8, "head-to-head sink count")
+	beyondNX := flag.Int("beyond-nx", 80, "beyond-DP grid side")
+	beyondSpread := flag.Int("beyond-spread", 8, "beyond-DP terminal patch side (0 = whole grid)")
+	beyondSinks := flag.Int("beyond-sinks", 12, "beyond-DP sink count")
+	beyondSeed := flag.Uint64("beyond-seed", 1, "beyond-DP instance seed")
+	dpTimeout := flag.Duration("dp-timeout", 60*time.Second, "DP watchdog on the beyond-DP instance")
+	out := flag.String("out", "BENCH_exact.json", "output file")
+	flag.Parse()
+
+	rep := reportJSON{
+		Date: time.Now().Format("2006-01-02"),
+		Go:   runtime.Version(),
+		CPUs: runtime.NumCPU(),
+	}
+
+	// Head-to-head.
+	rep.HeadToHead = headJSON{NX: int32(*headNX), Spread: int32(*headSpread), Sinks: *headSinks}
+	logSpeedup := 0.0
+	for seed := uint64(1); seed <= uint64(*seeds); seed++ {
+		in := genInstance(seed, int32(*headNX), int32(*headSpread), *headSinks, 20*float64(seed%2))
+
+		t0 := time.Now()
+		dp, err := costdist.SolveExact(in)
+		if err != nil {
+			fatal(fmt.Errorf("seed %d: dp: %w", seed, err))
+		}
+		dpMS := float64(time.Since(t0).Microseconds()) / 1e3
+
+		t0 = time.Now()
+		goal, err := solveGoalSeeded(in)
+		if err != nil {
+			fatal(fmt.Errorf("seed %d: goal: %w", seed, err))
+		}
+		goalMS := float64(time.Since(t0).Microseconds()) / 1e3
+
+		if math.Abs(goal.LowerBound-dp.LowerBound) > 1e-7*(1+math.Abs(dp.LowerBound)) {
+			fatal(fmt.Errorf("seed %d: certified bounds diverge: goal %v, dp %v",
+				seed, goal.LowerBound, dp.LowerBound))
+		}
+		speedup := dpMS / goalMS
+		logSpeedup += math.Log(speedup)
+		rep.HeadToHead.Runs = append(rep.HeadToHead.Runs, headRunJSON{
+			Seed: seed, LowerBound: goal.LowerBound,
+			DPMS: dpMS, GoalMS: goalMS,
+			GoalSettled: goal.Goal.Settled, Speedup: speedup,
+		})
+		fmt.Printf("head seed %d: LB %.4f  dp %.1fms  goal %.1fms  speedup %.1fx\n",
+			seed, goal.LowerBound, dpMS, goalMS, speedup)
+	}
+	rep.HeadToHead.GeomeanSpeedup = math.Exp(logSpeedup / float64(len(rep.HeadToHead.Runs)))
+	fmt.Printf("head-to-head geomean speedup: %.1fx over %d instances\n",
+		rep.HeadToHead.GeomeanSpeedup, len(rep.HeadToHead.Runs))
+
+	// Beyond-DP: goal first (the DP watchdog leaves its goroutine
+	// burning a core after the timeout).
+	bin := genInstance(*beyondSeed, int32(*beyondNX), int32(*beyondSpread), *beyondSinks, 0)
+	cd, err := costdist.SolveCD(bin, costdist.DefaultCDOptions())
+	if err != nil {
+		fatal(err)
+	}
+	cdEv, err := costdist.Evaluate(bin, cd)
+	if err != nil {
+		fatal(err)
+	}
+	t0 := time.Now()
+	goal, err := solveGoalSeeded(bin)
+	if err != nil {
+		fatal(fmt.Errorf("beyond-dp goal: %w", err))
+	}
+	goalMS := float64(time.Since(t0).Microseconds()) / 1e3
+	rep.BeyondDP = beyondJSON{
+		NX: int32(*beyondNX), Spread: int32(*beyondSpread), Sinks: *beyondSinks, Seed: *beyondSeed,
+		DPTimeoutS: dpTimeout.Seconds(),
+		GoalMS:     goalMS, GoalSettled: goal.Goal.Settled,
+		LowerBound: goal.LowerBound,
+		CDGapPct:   100 * (cdEv.Total - goal.LowerBound) / goal.LowerBound,
+	}
+	fmt.Printf("beyond-dp: goal certified %d sinks in %.1fms (LB %.4f, CD gap %.2f%%)\n",
+		*beyondSinks, goalMS, goal.LowerBound, rep.BeyondDP.CDGapPct)
+
+	type dpOutcome struct {
+		ms  float64
+		err error
+	}
+	done := make(chan dpOutcome, 1)
+	go func() {
+		t0 := time.Now()
+		_, err := costdist.SolveExact(bin)
+		done <- dpOutcome{float64(time.Since(t0).Microseconds()) / 1e3, err}
+	}()
+	select {
+	case o := <-done:
+		switch {
+		case o.err != nil:
+			rep.BeyondDP.DPError = o.err.Error()
+			fmt.Printf("beyond-dp: DP rejected the instance: %v\n", o.err)
+		default:
+			rep.BeyondDP.DPFinished = true
+			rep.BeyondDP.DPMS = o.ms
+			fmt.Printf("beyond-dp: DP finished in %.1fms — raise -beyond-nx/-beyond-sinks\n", o.ms)
+		}
+	case <-time.After(*dpTimeout):
+		fmt.Printf("beyond-dp: DP did not finish within %v\n", *dpTimeout)
+	}
+
+	blob, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "exactbench:", err)
+	os.Exit(1)
+}

@@ -122,8 +122,10 @@ type (
 	Tech     = dly.Tech
 	Buffer   = dly.Buffer
 
-	// ExactResult carries the exact DP's certified bounds.
-	ExactResult = exact.Result
+	// ExactResult carries the exact solvers' certified bounds;
+	// ExactGoalLimits bounds the goal-oriented exact search.
+	ExactResult     = exact.Result
+	ExactGoalLimits = exact.GoalLimits
 
 	// BufferResult reports explicit repeater insertion on a tree.
 	BufferResult = buffering.Result
@@ -132,7 +134,9 @@ type (
 // The four Steiner tree algorithms of the paper's comparison (§IV-A),
 // plus the two drivers layered over the oracle registry: Auto picks an
 // oracle per net from its timing criticality, Portfolio races several
-// oracles on every net and keeps the best-priced tree.
+// oracles on every net and keeps the best-priced tree. Exact routes
+// every net with the goal-oriented exact tier (CD-seeded, deterministic
+// budget, heuristic fallback beyond it).
 const (
 	L1        = router.L1
 	SL        = router.SL
@@ -140,11 +144,12 @@ const (
 	CD        = router.CD
 	Auto      = router.Auto
 	Portfolio = router.Portfolio
+	Exact     = router.Exact
 )
 
 // MethodByName resolves an oracle or driver name — a registry name
-// ("cd", "rsmt", "sl", "pd"), an alias ("l1"), or a driver mode
-// ("auto", "portfolio"), case-insensitive — to its Method.
+// ("cd", "rsmt", "sl", "pd", "exact"), an alias ("l1"), or a driver
+// mode ("auto", "portfolio"), case-insensitive — to its Method.
 func MethodByName(name string) (Method, bool) { return router.MethodByName(name) }
 
 // MethodNames returns every name MethodByName accepts in canonical
@@ -201,6 +206,32 @@ func Solve(in *Instance, m Method, opt RouterOptions) (*Tree, error) {
 // SolveExact solves a small instance optimally (Dreyfus-Wagner-style
 // DP); see ExactResult for the bound semantics.
 func SolveExact(in *Instance) (*ExactResult, error) { return exact.Solve(in) }
+
+// SolveExactGoal solves an instance optimally with the goal-oriented
+// label-setting solver ("Dijkstra meets Steiner"): the same certified
+// bounds as SolveExact, but best-first search with admissible
+// mask-aware future costs, bounding-box pruning and an incumbent
+// seeded by the CD heuristic push it to instances (8–12 sinks,
+// realistic windows) far beyond the DP's reach. The context is checked
+// periodically; cancellation returns promptly mid-search.
+func SolveExactGoal(ctx context.Context, in *Instance) (*ExactResult, error) {
+	return exact.SolveGoal(ctx, in)
+}
+
+// SolveExactGoalLimits is SolveExactGoal with explicit deterministic
+// budgets (sinks, window vertices, settled labels, incumbent seed).
+func SolveExactGoalLimits(ctx context.Context, in *Instance, lim ExactGoalLimits) (*ExactResult, error) {
+	return exact.SolveGoalLimits(ctx, in, lim)
+}
+
+// DefaultExactGoalLimits returns the standalone goal-solver budget;
+// ExactOracleLimits the conservative in-router budget of the "exact"
+// oracle tier.
+func DefaultExactGoalLimits() ExactGoalLimits { return exact.DefaultGoalLimits() }
+
+// ExactOracleLimits returns the deterministic budget the "exact"
+// oracle tier applies per net before falling back to the CD heuristic.
+func ExactOracleLimits() ExactGoalLimits { return exact.OracleLimits() }
 
 // Evaluate scores an embedded tree under objective (1) with the
 // bifurcation delay model (3); all algorithms are compared through this

@@ -112,6 +112,73 @@ func TestRouteChipCtxCancellation(t *testing.T) {
 	}
 }
 
+// The exact tier must honor the router's context mid-solve: its label
+// loop polls Env.Ctx, so a cancelled RouteChipCtx run with the Exact
+// method returns promptly instead of finishing the in-flight searches.
+func TestRouteChipCtxCancellationExactTier(t *testing.T) {
+	spec := ChipSuite(0.002)[0]
+	chip, err := GenerateChip(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := DefaultRouterOptions()
+	opt.Waves = 2
+	opt.Threads = 2
+
+	// Pre-cancelled: no work at all.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RouteChipCtx(ctx, chip, Exact, opt); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled exact route: err = %v", err)
+	}
+
+	// Mid-run cancel: returns Canceled, promptly — the in-flight exact
+	// searches abort through Env.Ctx rather than running to budget.
+	ctx, cancel = context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := RouteChipCtx(ctx, chip, Exact, opt)
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, context.Canceled) {
+			t.Fatalf("mid-run cancel: err = %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled exact route did not return")
+	}
+}
+
+// SolveExactGoal on an instance big enough to run for a while must
+// abandon the search shortly after its context is cancelled — the goal
+// solver checks the context inside the label loop, not just on entry.
+func TestSolveExactGoalMidSearchCancel(t *testing.T) {
+	in := diffInstance(3, 13, 10, 0) // band-2 scale: seconds of label work
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := SolveExactGoal(ctx, in)
+		errc <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	start := time.Now()
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, context.Canceled) {
+			t.Fatalf("mid-search cancel: err = %v", err)
+		}
+		if d := time.Since(start); d > time.Second {
+			t.Fatalf("goal solver took %v to notice the cancel", d)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled goal search did not return")
+	}
+}
+
 // RouteChip must publish the final tree of every net — the service
 // layer serializes them, so absence would be an API regression.
 func TestRouteChipExposesTrees(t *testing.T) {

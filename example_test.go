@@ -1,6 +1,7 @@
 package costdist_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -43,6 +44,56 @@ func ExampleSolveCD() {
 	// wire steps: 70
 	// vias: 13
 	// objective: 150.187
+}
+
+// ExampleSolveExactGoal certifies a small net to optimality with the
+// goal-oriented exact solver: a heuristic tree seeds the incumbent
+// upper bound, the label-setting search then either proves it optimal
+// or returns a strictly better tree together with the certified lower
+// bound.
+func ExampleSolveExactGoal() {
+	tech := costdist.DefaultTech(3)
+	g := costdist.NewGrid(16, 16, costdist.BuildLayers(tech), tech.GCellUM)
+
+	in := &costdist.Instance{
+		G: g, C: costdist.NewCosts(g),
+		Root: g.At(2, 2, 0),
+		Sinks: []costdist.Sink{
+			{V: g.At(13, 4, 0), W: 0.04}, // timing-critical
+			{V: g.At(11, 13, 0), W: 0.003},
+			{V: g.At(4, 12, 0), W: 0.001},
+		},
+		DBif: costdist.Dbif(tech),
+		Eta:  0.25,
+		Seed: 1,
+	}
+	in.Win = g.FullWindow()
+
+	// Seed the incumbent with the CD heuristic (the oracle adapter and
+	// the differential harness do the same).
+	cd, err := costdist.SolveCD(in, costdist.DefaultCDOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	cdEv, err := costdist.Evaluate(in, cd)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	lim := costdist.DefaultExactGoalLimits()
+	lim.UpperBound = cdEv.Total
+	res, err := costdist.SolveExactGoalLimits(context.Background(), in, lim)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("certified lower bound: %.3f\n", res.LowerBound)
+	fmt.Printf("cd tree within certified gap: %t\n", cdEv.Total >= res.LowerBound)
+	fmt.Printf("exact tree matches its certificate: %t\n",
+		res.Total <= res.LowerBound*(1+1e-6))
+	// Output:
+	// certified lower bound: 62.211
+	// cd tree within certified gap: true
+	// exact tree matches its certificate: true
 }
 
 // ExampleParseInstance decodes the JSON schema consumed by
@@ -168,7 +219,8 @@ func ExampleRouteChip_autoSelection() {
 	opt := costdist.DefaultRouterOptions()
 	opt.Threads = 2
 	// opt.Selection tunes the bands; the defaults route critical nets
-	// with "cd", budget-tight nets with "sl" and the rest with "rsmt".
+	// with "exact" (the certified tier, CD fallback beyond its budget),
+	// budget-tight nets with "sl" and the rest with "rsmt".
 
 	res, err := costdist.RouteChip(chip, costdist.Auto, opt)
 	if err != nil {
@@ -181,12 +233,12 @@ func ExampleRouteChip_autoSelection() {
 	}
 	fmt.Printf("every net solved by exactly one oracle: %t\n", total == m.NetsSolved)
 	fmt.Printf("several oracles in play: %t\n", len(m.SolvesByOracle) >= 2)
-	fmt.Printf("cd reserved for a critical minority: %t\n",
-		m.SolvesByOracle["cd"] > 0 && m.SolvesByOracle["cd"] < total/2)
+	fmt.Printf("exact tier reserved for a critical minority: %t\n",
+		m.SolvesByOracle["exact"] > 0 && m.SolvesByOracle["exact"] < total/2)
 	// Output:
 	// every net solved by exactly one oracle: true
 	// several oracles in play: true
-	// cd reserved for a critical minority: true
+	// exact tier reserved for a critical minority: true
 }
 
 // ExampleRouteChipFrom shows ECO-style warm-started rerouting: route a

@@ -9,6 +9,7 @@ package costdist
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"os"
 	"path/filepath"
@@ -115,6 +116,49 @@ func FuzzMarshalTreeRoundTrip(f *testing.F) {
 		}
 		if ev1.Total != ev2.Total || ev1.CongCost != ev2.CongCost || ev1.DelayCost != ev2.DelayCost {
 			t.Fatalf("objective changed across round-trip: %+v vs %+v", ev1, ev2)
+		}
+	})
+}
+
+// FuzzExactGoalVsDP cross-checks the two exact solvers on fuzzed
+// instances: the goal-oriented label-setting search and the
+// Dreyfus–Wagner DP must certify the same lower bound, and both trees
+// must pass the structural differential checks. Any divergence means
+// one of the two lost optimality — the strongest oracle-correctness
+// signal the suite has, since the solvers share no search code.
+//
+//	go test -fuzz FuzzExactGoalVsDP -fuzztime 30s .
+func FuzzExactGoalVsDP(f *testing.F) {
+	addInstanceCorpus(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		in, err := ParseInstance(data)
+		if err != nil {
+			return
+		}
+		// Bound both solvers: the DP is the scaling wall here.
+		if in.G.NumV() > 2048 || len(in.Sinks) > 6 {
+			return
+		}
+		dp, err := SolveExact(in)
+		if err != nil {
+			return // over the DP's documented size limits
+		}
+		goal, err := SolveExactGoal(context.Background(), in)
+		if err != nil {
+			t.Fatalf("goal solver failed where DP succeeded: %v", err)
+		}
+		if math.Abs(goal.LowerBound-dp.LowerBound) > 1e-7*(1+math.Abs(dp.LowerBound)) {
+			t.Fatalf("certified lower bounds diverge: goal %v, DP %v", goal.LowerBound, dp.LowerBound)
+		}
+		if goal.Total > dp.Total+1e-7*(1+math.Abs(dp.Total)) {
+			t.Fatalf("goal tree %v worse than DP tree %v", goal.Total, dp.Total)
+		}
+		for name, res := range map[string]*ExactResult{"dp": dp, "goal": goal} {
+			ev, err := Evaluate(in, res.Tree)
+			if err != nil {
+				t.Fatalf("%s tree invalid: %v", name, err)
+			}
+			checkTreeProperties(t, in, res.Tree, ev)
 		}
 	})
 }

@@ -39,6 +39,9 @@ type Result struct {
 	// Total is the evaluated objective of Tree (a feasible upper bound).
 	Total float64
 	Tree  *nets.RTree
+	// Goal carries the goal-oriented solver's search statistics; it is
+	// zero for results produced by the DP.
+	Goal GoalStats
 }
 
 type traceKind uint8

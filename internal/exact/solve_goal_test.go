@@ -1,0 +1,160 @@
+package exact
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"costdist/internal/nets"
+)
+
+// randInstance builds a seeded random instance on an nx×nx grid with k
+// sinks on layer 0.
+func randInstance(rng *rand.Rand, nx int32, k int, dbif float64) *nets.Instance {
+	g, c := newGraph(nx, nx, 3)
+	sinks := make([]nets.Sink, k)
+	for i := range sinks {
+		sinks[i] = nets.Sink{V: g.At(rng.Int32N(nx), rng.Int32N(nx), 0), W: 0.1 + rng.Float64()}
+	}
+	return &nets.Instance{G: g, C: c, Root: g.At(rng.Int32N(nx), rng.Int32N(nx), 0),
+		Sinks: sinks, DBif: dbif, Eta: 0.25, Win: g.FullWindow()}
+}
+
+// TestGoalMatchesDP is the core certificate: the goal-oriented solver's
+// lower bound equals the DP's on the same instance, and its tree is at
+// least as good as the DP's reconstruction.
+func TestGoalMatchesDP(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 11))
+	for it := 0; it < 40; it++ {
+		k := 1 + rng.IntN(5)
+		dbif := 0.0
+		if it%2 == 1 {
+			dbif = rng.Float64() * 20
+		}
+		in := randInstance(rng, 7, k, dbif)
+		dp, err := Solve(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gr, err := SolveGoal(context.Background(), in)
+		if err != nil {
+			t.Fatalf("it %d: SolveGoal: %v", it, err)
+		}
+		if math.Abs(gr.LowerBound-dp.LowerBound) > 1e-7*math.Max(1, dp.LowerBound) {
+			t.Fatalf("it %d: goal LB %v != DP LB %v", it, gr.LowerBound, dp.LowerBound)
+		}
+		if gr.Total > dp.Total+1e-7*math.Max(1, dp.Total) {
+			t.Fatalf("it %d: goal tree %v worse than DP tree %v", it, gr.Total, dp.Total)
+		}
+		if gr.LowerBound > gr.Total+1e-7*math.Max(1, gr.Total) {
+			t.Fatalf("it %d: goal LB %v exceeds its own tree %v", it, gr.LowerBound, gr.Total)
+		}
+		if ev, err := nets.Evaluate(in, gr.Tree); err != nil {
+			t.Fatalf("it %d: goal tree invalid: %v", it, err)
+		} else if math.Abs(ev.Total-gr.Total) > 1e-9*math.Max(1, gr.Total) {
+			t.Fatalf("it %d: Total %v is not the evaluated objective %v", it, gr.Total, ev.Total)
+		}
+	}
+}
+
+// TestGoalDeterministic solves the same instance repeatedly and demands
+// bit-identical trees and bounds.
+func TestGoalDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 33))
+	in := randInstance(rng, 9, 6, 12.5)
+	ref, err := SolveGoal(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for run := 0; run < 5; run++ {
+		r, err := SolveGoal(context.Background(), in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.LowerBound != ref.LowerBound || r.Total != ref.Total {
+			t.Fatalf("run %d: bounds (%v, %v) != (%v, %v)",
+				run, r.LowerBound, r.Total, ref.LowerBound, ref.Total)
+		}
+		if len(r.Tree.Steps) != len(ref.Tree.Steps) {
+			t.Fatalf("run %d: %d steps != %d", run, len(r.Tree.Steps), len(ref.Tree.Steps))
+		}
+		for i, s := range r.Tree.Steps {
+			if s != ref.Tree.Steps[i] {
+				t.Fatalf("run %d: step %d differs: %+v vs %+v", run, i, s, ref.Tree.Steps[i])
+			}
+		}
+	}
+}
+
+// TestGoalUpperBoundSeedStaysExact verifies that seeding the incumbent
+// with the exact optimum (the tightest legal value) does not prune away
+// the certificate.
+func TestGoalUpperBoundSeedStaysExact(t *testing.T) {
+	rng := rand.New(rand.NewPCG(17, 5))
+	for it := 0; it < 10; it++ {
+		in := randInstance(rng, 7, 1+rng.IntN(4), 0)
+		dp, err := Solve(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gr, err := SolveGoalLimits(context.Background(), in, GoalLimits{UpperBound: dp.Total})
+		if err != nil {
+			t.Fatalf("it %d: %v", it, err)
+		}
+		if math.Abs(gr.LowerBound-dp.LowerBound) > 1e-7*math.Max(1, dp.LowerBound) {
+			t.Fatalf("it %d: seeded LB %v != DP LB %v", it, gr.LowerBound, dp.LowerBound)
+		}
+	}
+}
+
+func TestGoalLimits(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 1))
+	in := randInstance(rng, 9, 6, 0)
+	if _, err := SolveGoalLimits(context.Background(), in, GoalLimits{MaxSinks: 4}); err == nil {
+		t.Fatal("expected sink-limit error")
+	}
+	if _, err := SolveGoalLimits(context.Background(), in, GoalLimits{MaxWindowVerts: 8}); err == nil {
+		t.Fatal("expected window-limit error")
+	}
+	_, err := SolveGoalLimits(context.Background(), in, GoalLimits{MaxLabels: 3})
+	if !errors.Is(err, ErrLabelBudget) {
+		t.Fatalf("expected ErrLabelBudget, got %v", err)
+	}
+}
+
+func TestGoalZeroSinks(t *testing.T) {
+	g, c := newGraph(4, 4, 2)
+	in := &nets.Instance{G: g, C: c, Root: g.At(0, 0, 0), Win: g.FullWindow()}
+	res, err := SolveGoal(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total != 0 || len(res.Tree.Steps) != 0 {
+		t.Fatalf("zero-sink: %+v", res)
+	}
+}
+
+func TestGoalCancellation(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 8))
+	in := randInstance(rng, 12, 8, 5)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := SolveGoal(ctx, in); !errors.Is(err, context.Canceled) {
+		t.Fatalf("expected context.Canceled, got %v", err)
+	}
+}
+
+// TestGoalStats sanity-checks that the search reports its work.
+func TestGoalStats(t *testing.T) {
+	rng := rand.New(rand.NewPCG(14, 3))
+	in := randInstance(rng, 8, 4, 0)
+	r, err := SolveGoal(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Goal.Settled <= 0 || r.Goal.Generated <= 0 || r.Goal.WindowVerts <= 0 {
+		t.Fatalf("empty stats: %+v", r.Goal)
+	}
+}

@@ -1,0 +1,175 @@
+// Admissibility property tests: future costs must never exceed the true
+// remaining cost, or goal-oriented searches built on them return
+// non-optimal trees while claiming certificates. Both estimators are
+// checked against the Dreyfus–Wagner DP of internal/exact on seeded
+// random instances — the DP's LowerBound is the true optimum of the
+// completion problem each estimate claims to bound.
+//
+// This file is an external test package: internal/exact imports
+// internal/future for its mask-aware bounds, so the cross-check must
+// live outside the import cycle.
+package future_test
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"costdist/internal/dly"
+	"costdist/internal/exact"
+	"costdist/internal/future"
+	"costdist/internal/geom"
+	"costdist/internal/grid"
+	"costdist/internal/nets"
+)
+
+// admissInstance builds a seeded random instance with congested (priced)
+// segments, so minCost floors and bounding boxes are exercised against
+// multipliers > 1.
+func admissInstance(rng *rand.Rand, nx int32, k int, dbif float64) *nets.Instance {
+	tech := dly.DefaultTech(3)
+	g := grid.New(nx, nx, tech.BuildLayers(), tech.GCellUM)
+	c := grid.NewCosts(g)
+	for i := range c.Mult {
+		if rng.IntN(3) == 0 {
+			c.Mult[i] = 1 + 4*rng.Float32()
+		}
+	}
+	in := &nets.Instance{
+		G: g, C: c,
+		Root: g.At(rng.Int32N(nx), rng.Int32N(nx), 0),
+		DBif: dbif, Eta: 0.25,
+		Win: g.FullWindow(),
+	}
+	for len(in.Sinks) < k {
+		in.Sinks = append(in.Sinks, nets.Sink{
+			V: g.At(rng.Int32N(nx), rng.Int32N(nx), 0),
+			W: 0.05 + rng.Float64(),
+		})
+	}
+	return in
+}
+
+// completionOptimum returns the true optimum of the completion problem
+// of state (mask, v): connect v — carrying the combined delay weight of
+// mask — and every sink outside mask to the root. Computed by the DP,
+// whose LowerBound is exact for this instance.
+func completionOptimum(t *testing.T, in *nets.Instance, est *future.MaskEstimator, mask uint32, v grid.V) float64 {
+	t.Helper()
+	comp := &nets.Instance{
+		G: in.G, C: in.C, Root: in.Root,
+		DBif: in.DBif, Eta: in.Eta, Win: in.Win,
+	}
+	for i, sk := range in.Sinks {
+		if mask&(uint32(1)<<uint(i)) == 0 {
+			comp.Sinks = append(comp.Sinks, sk)
+		}
+	}
+	comp.Sinks = append(comp.Sinks, nets.Sink{V: v, W: est.W(mask)})
+	res, err := exact.Solve(comp)
+	if err != nil {
+		t.Fatalf("completion DP: %v", err)
+	}
+	return res.LowerBound
+}
+
+// TestMaskEstimatorAdmissible drives the property the goal-oriented
+// solver's optimality proof rests on: for random reachable states
+// (mask, v), Est(mask, pt(v)) never exceeds the completion optimum.
+func TestMaskEstimatorAdmissible(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 47))
+	for it := 0; it < 12; it++ {
+		k := 2 + rng.IntN(3)
+		dbif := 0.0
+		if it%2 == 1 {
+			dbif = rng.Float64() * 25
+		}
+		in := admissInstance(rng, 6, k, dbif)
+		pts := make([]geom.Pt, k)
+		ws := make([]float64, k)
+		for i, sk := range in.Sinks {
+			pts[i] = in.G.Pt(sk.V)
+			ws[i] = sk.W
+		}
+		est, err := future.NewMaskEstimator(in.C, in.G.Pt(in.Root), pts, ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full := uint32(1)<<uint(k) - 1
+		for trial := 0; trial < 6; trial++ {
+			mask := 1 + rng.Uint32N(full) // nonzero, possibly full
+			v := in.G.At(rng.Int32N(6), rng.Int32N(6), rng.Int32N(3))
+			got := est.Est(mask, in.G.Pt(v))
+			want := completionOptimum(t, in, est, mask, v)
+			if got > want+1e-9*(1+want) {
+				t.Fatalf("it %d: Est(%b, %v) = %v exceeds completion optimum %v",
+					it, mask, in.G.Pt(v), got, want)
+			}
+		}
+	}
+}
+
+// TestEstimatorAdmissible checks the existing single-target estimator
+// (with and without landmark sharpening) against the true shortest
+// cost-plus-weighted-delay path to the target, computed by the DP on a
+// single-sink instance.
+func TestEstimatorAdmissible(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 23))
+	for it := 0; it < 12; it++ {
+		in := admissInstance(rng, 6, 1, 0)
+		target := in.Sinks[0]
+		tp := in.G.Pt(target.V)
+		box := geom.Rect{X0: tp.X, Y0: tp.Y, X1: tp.X, Y1: tp.Y}
+
+		plain := future.New(in.C)
+		plain.SetTargets([]geom.Rect{box})
+		sharp := future.New(in.C)
+		sharp.AttachLandmarks(future.NewLandmarks(in.G, in.C, in.Win))
+		sharp.SetTargets([]geom.Rect{box})
+
+		for trial := 0; trial < 6; trial++ {
+			v := in.G.At(rng.Int32N(6), rng.Int32N(6), rng.Int32N(3))
+			w := rng.Float64() * 2
+			// True remaining cost: single-sink DP from the pseudo-source v
+			// (weight w) to a root placed at the target.
+			single := &nets.Instance{
+				G: in.G, C: in.C, Root: target.V, Win: in.Win,
+				Sinks: []nets.Sink{{V: v, W: w}},
+			}
+			res, err := exact.Solve(single)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := res.LowerBound
+			for name, e := range map[string]*future.Estimator{"plain": plain, "landmark": sharp} {
+				if got := e.Est(in.G.Pt(v), w); got > want+1e-9*(1+want) {
+					t.Fatalf("it %d %s: Est = %v exceeds true remaining cost %v", it, name, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestMaskEstimatorGoalStateIsZero pins the boundary condition: at the
+// goal state (full mask, root) the future cost must be exactly zero, or
+// every search key would carry a constant bias.
+func TestMaskEstimatorGoalStateIsZero(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 71))
+	in := admissInstance(rng, 6, 4, 10)
+	pts := make([]geom.Pt, 4)
+	ws := make([]float64, 4)
+	for i, sk := range in.Sinks {
+		pts[i] = in.G.Pt(sk.V)
+		ws[i] = sk.W
+	}
+	est, err := future.NewMaskEstimator(in.C, in.G.Pt(in.Root), pts, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := est.Est(uint32(1)<<4-1, in.G.Pt(in.Root)); got != 0 {
+		t.Fatalf("Est(full, root) = %v, want 0", got)
+	}
+	if math.Abs(est.W(uint32(1)<<4-1)-(ws[0]+ws[1]+ws[2]+ws[3])) > 1e-12 {
+		t.Fatalf("W(full) = %v", est.W(uint32(1)<<4-1))
+	}
+}

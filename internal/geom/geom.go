@@ -131,6 +131,24 @@ func (r Rect) H() int32 {
 // Area returns the number of gcells covered by r.
 func (r Rect) Area() int64 { return int64(r.W()) * int64(r.H()) }
 
+// Intersect returns the overlap of r and s; the result is empty when
+// they share no gcell.
+func (r Rect) Intersect(s Rect) Rect {
+	if s.X0 > r.X0 {
+		r.X0 = s.X0
+	}
+	if s.Y0 > r.Y0 {
+		r.Y0 = s.Y0
+	}
+	if s.X1 < r.X1 {
+		r.X1 = s.X1
+	}
+	if s.Y1 < r.Y1 {
+		r.Y1 = s.Y1
+	}
+	return r
+}
+
 // Intersects reports whether r and s share at least one gcell.
 func (r Rect) Intersects(s Rect) bool {
 	return r.X0 <= s.X1 && s.X0 <= r.X1 && r.Y0 <= s.Y1 && s.Y0 <= r.Y1

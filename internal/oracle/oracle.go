@@ -10,12 +10,14 @@
 package oracle
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
 	"costdist/internal/core"
 	"costdist/internal/embed"
+	"costdist/internal/exact"
 	"costdist/internal/geom"
 	"costdist/internal/nets"
 	"costdist/internal/pd"
@@ -41,6 +43,14 @@ type Env struct {
 	// units (dbif divided by the fastest delay per gcell), consumed by
 	// the plane-topology oracles' merge penalties.
 	LBif float64
+	// Exact bounds the exact tier's goal-oriented search; the zero value
+	// takes exact.OracleLimits(). The limits are deterministic (sinks,
+	// window vertices, settled labels — never wall-clock), so the exact
+	// oracle's fallback decision is identical on every run.
+	Exact exact.GoalLimits
+	// Ctx, when non-nil, is checked by long-running oracles (the exact
+	// tier) for prompt mid-solve cancellation. Nil means "no deadline".
+	Ctx context.Context
 }
 
 // Hint describes an oracle's cost and capabilities to drivers and to
@@ -66,7 +76,7 @@ type Hint struct {
 // state lives in the Env (scratch arena) or on the stack.
 type Oracle interface {
 	// Name is the registry key, lowercase and stable ("cd", "rsmt",
-	// "sl", "pd").
+	// "sl", "pd", "exact").
 	Name() string
 	// Hint describes cost and capabilities.
 	Hint() Hint
@@ -158,6 +168,52 @@ func (pdOracle) Solve(in *nets.Instance, env *Env) (*nets.RTree, error) {
 	return embedTopo(in, topo)
 }
 
+// exactOracle is the premium tier: the goal-oriented exact solver of
+// internal/exact (Dijkstra-meets-Steiner label setting) seeded and
+// guarded by the CD heuristic. It first runs CD, then — when the net
+// fits the Env.Exact budget — tries to certify or beat that tree with
+// an exact search whose incumbent is the CD objective. Any limit
+// breach (too many sinks, window too large, label budget exhausted)
+// falls back to the CD tree, so the oracle never fails where CD
+// succeeds and never spends unbounded time. All gates are
+// deterministic, keeping routed results independent of machine speed,
+// run count and thread count.
+type exactOracle struct{}
+
+func (exactOracle) Name() string { return "exact" }
+func (exactOracle) Hint() Hint   { return Hint{Cost: 5, UsesBudgets: false, TimingAware: true} }
+func (exactOracle) Solve(in *nets.Instance, env *Env) (*nets.RTree, error) {
+	cd, err := core.Solve(in, env.Core)
+	if err != nil {
+		return nil, err
+	}
+	lim := env.Exact
+	if lim == (exact.GoalLimits{}) {
+		lim = exact.OracleLimits()
+	}
+	ev, err := nets.Evaluate(in, cd)
+	if err != nil {
+		return nil, err
+	}
+	if lim.UpperBound == 0 {
+		lim.UpperBound = ev.Total
+	}
+	res, err := exact.SolveGoalLimits(env.Ctx, in, lim)
+	if err != nil {
+		if env.Ctx != nil && env.Ctx.Err() != nil {
+			return nil, env.Ctx.Err() // cancellation is not a fallback case
+		}
+		return cd, nil // over budget: stay on the heuristic tier
+	}
+	if res.Total <= ev.Total {
+		return res.Tree, nil
+	}
+	// With dbif > 0 the exact reconstruction can carry a small
+	// bifurcation gap above the DP value; keep whichever tree evaluates
+	// better.
+	return cd, nil
+}
+
 // ---- Registry ----------------------------------------------------------
 
 // aliases maps accepted alternative spellings to canonical registry
@@ -222,11 +278,11 @@ func (r *Registry) Names() []string {
 	return append([]string(nil), r.names...)
 }
 
-// Default returns a registry holding the paper's four oracles. A fresh
-// registry is returned each call so callers may extend it without
-// aliasing each other.
+// Default returns a registry holding the paper's four oracles plus the
+// exact tier. A fresh registry is returned each call so callers may
+// extend it without aliasing each other.
 func Default() *Registry {
-	r, err := NewRegistry(cdOracle{}, rsmtOracle{}, slOracle{}, pdOracle{})
+	r, err := NewRegistry(cdOracle{}, rsmtOracle{}, slOracle{}, pdOracle{}, exactOracle{})
 	if err != nil {
 		panic(err) // static oracle set; unreachable
 	}

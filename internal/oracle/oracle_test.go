@@ -18,11 +18,11 @@ import (
 
 func TestRegistryNamesAndAliases(t *testing.T) {
 	reg := oracle.Default()
-	want := []string{"cd", "pd", "rsmt", "sl"}
+	want := []string{"cd", "exact", "pd", "rsmt", "sl"}
 	if !reflect.DeepEqual(reg.Names(), want) {
 		t.Fatalf("Names() = %v, want %v (sorted)", reg.Names(), want)
 	}
-	for _, name := range []string{"cd", "CD", " cd ", "rsmt", "l1", "L1", "sl", "pd"} {
+	for _, name := range []string{"cd", "CD", " cd ", "rsmt", "l1", "L1", "sl", "pd", "exact"} {
 		if _, ok := reg.Get(name); !ok {
 			t.Fatalf("Get(%q) failed", name)
 		}
@@ -64,7 +64,7 @@ func TestHints(t *testing.T) {
 
 func TestSelectionBands(t *testing.T) {
 	sel := oracle.Selection{CriticalWeight: 0.01, TightBudgetRatio: 1.5}
-	if got := sel.Pick([]float64{0.001, 0.02}, nil, nil); got != "cd" {
+	if got := sel.Pick([]float64{0.001, 0.02}, nil, nil); got != "exact" {
 		t.Fatalf("critical net picked %q", got)
 	}
 	if got := sel.Pick([]float64{0.001}, []float64{100}, []float64{90}); got != "sl" {
@@ -80,7 +80,7 @@ func TestSelectionBands(t *testing.T) {
 	if got := triv.Pick([]float64{5.0}, nil, nil); got != "rsmt" {
 		t.Fatalf("trivial single-sink net picked %q", got)
 	}
-	if got := triv.Pick([]float64{5.0, 5.0}, nil, nil); got != "cd" {
+	if got := triv.Pick([]float64{5.0, 5.0}, nil, nil); got != "exact" {
 		t.Fatalf("critical two-sink net picked %q", got)
 	}
 	// Disabled bands fall through.
@@ -274,5 +274,61 @@ func TestAutoMatchesExplicitBandOracle(t *testing.T) {
 		if !reflect.DeepEqual(want.Steps, got.Steps) {
 			t.Fatalf("auto/%d: tree differs from band oracle %q", i, name)
 		}
+	}
+}
+
+// The exact tier must never return a worse-priced tree than the CD
+// heuristic it is seeded with: within budget it certifies or improves
+// the CD tree, beyond budget it falls back to it verbatim.
+func TestExactOracleNeverWorseThanCD(t *testing.T) {
+	ins := captureInstances(t)
+	opt := router.DefaultOptions()
+	for i, in := range ins {
+		cd, err := router.SolveNet(in, router.CD, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ex, err := router.SolveNet(in, router.Exact, opt)
+		if err != nil {
+			t.Fatalf("exact/%d: %v", i, err)
+		}
+		cdEv, err := nets.Evaluate(in, cd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exEv, err := nets.Evaluate(in, ex)
+		if err != nil {
+			t.Fatalf("exact/%d tree invalid: %v", i, err)
+		}
+		if exEv.Total > cdEv.Total+1e-9*cdEv.Total {
+			t.Fatalf("exact/%d: %v worse than cd %v", i, exEv.Total, cdEv.Total)
+		}
+	}
+}
+
+// Beyond the deterministic budget (here: a net with more sinks than
+// OracleLimits allows) the exact tier returns the CD tree bit-for-bit.
+func TestExactOracleFallsBackToCD(t *testing.T) {
+	ins := captureInstances(t)
+	in := ins[0]
+	// Oversize the net: replicate sinks until past the oracle budget.
+	big := *in
+	big.Sinks = append([]nets.Sink{}, in.Sinks...)
+	g := in.G
+	for i := int32(0); len(big.Sinks) <= 9; i++ {
+		big.Sinks = append(big.Sinks, nets.Sink{V: g.At(i%g.NX, (i*3)%g.NY, 0), W: 0.001})
+	}
+	big.Win = big.DefaultWindow(6)
+	opt := router.DefaultOptions()
+	cd, err := router.SolveNet(&big, router.CD, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := router.SolveNet(&big, router.Exact, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cd.Steps, ex.Steps) {
+		t.Fatal("over-budget exact solve did not fall back to the CD tree")
 	}
 }

@@ -19,7 +19,10 @@ import (
 //     Relaxed regardless of timing prices.
 //   - critical: some sink's delay weight reached CriticalWeight — the
 //     timing price is high enough that tree delay dominates the
-//     objective. Routed with Critical (default "cd").
+//     objective. Routed with Critical (default "exact": the goal-
+//     oriented exact tier, which certifies or beats the CD tree on
+//     nets within its deterministic budget and falls back to plain CD
+//     beyond it).
 //   - tight: not critical, but some sink's delay budget is within
 //     TightBudgetRatio of the fastest delay physically achievable for
 //     that sink — there is little slack to waste on detours. Routed
@@ -52,14 +55,17 @@ type Selection struct {
 	// fields take the defaults cd / sl / rsmt.
 	Critical, Tight, Relaxed string
 	// Portfolio lists the oracle names the portfolio driver races on
-	// every net; empty means "every registered oracle".
+	// every net; empty means "every registered oracle except the exact
+	// tier" — racing an exact search on every net of a netlist would
+	// dominate the run's cost, so the premium oracle must be opted into
+	// the pool by listing it explicitly.
 	Portfolio []string
 }
 
 // withDefaults fills empty band oracle names.
 func (s Selection) withDefaults() Selection {
 	if s.Critical == "" {
-		s.Critical = "cd"
+		s.Critical = "exact"
 	}
 	if s.Tight == "" {
 		s.Tight = "sl"

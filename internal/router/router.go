@@ -46,6 +46,10 @@ const (
 	// Portfolio races several oracles on every net and keeps the
 	// best-priced tree (name-ordered tie-break).
 	Portfolio
+	// Exact routes every net with the exact tier: the goal-oriented
+	// label-setting solver seeded by the CD heuristic, falling back to
+	// the CD tree for nets beyond its deterministic budget.
+	Exact
 )
 
 // methodInfo maps each Method to its canonical registry/driver name and
@@ -57,6 +61,7 @@ var methodInfo = []struct{ name, display string }{
 	CD:        {"cd", "CD"},
 	Auto:      {"auto", "auto"},
 	Portfolio: {"portfolio", "portfolio"},
+	Exact:     {"exact", "exact"},
 }
 
 // Name returns the canonical registry (or driver-mode) name, "" for an
@@ -239,20 +244,28 @@ func baseDriver(m Method) *driver {
 	return d
 }
 
-// fixedDrivers caches the four fixed single-oracle drivers. They hold
+// fixedDrivers caches the five fixed single-oracle drivers. They hold
 // no per-run state (Selection is only consulted by Auto/Portfolio), so
 // one instance serves every run and goroutine — SolveNet on the batch
 // hot path stays allocation-free at the dispatch layer.
 var fixedDrivers struct {
 	once sync.Once
-	d    [CD + 1]*driver
+	d    [Exact + 1]*driver
+}
+
+// isFixed reports whether m dispatches to one single oracle.
+func isFixed(m Method) bool {
+	return (m >= L1 && m <= CD) || m == Exact
 }
 
 // newDriver resolves the dispatch for one run.
 func newDriver(m Method, opt Options) (*driver, error) {
-	if m >= L1 && m <= CD {
+	if isFixed(m) {
 		fixedDrivers.once.Do(func() {
-			for fm := L1; fm <= CD; fm++ {
+			for fm := L1; fm <= Exact; fm++ {
+				if !isFixed(fm) {
+					continue
+				}
 				d := baseDriver(fm)
 				d.fixed = d.index(fm.Name())
 				fixedDrivers.d[fm] = d
@@ -278,7 +291,14 @@ func newDriver(m Method, opt Options) (*driver, error) {
 	if m == Portfolio {
 		pool := sel.Portfolio
 		if len(pool) == 0 {
-			pool = d.names
+			// The default pool is every registered oracle except the
+			// exact tier: racing an exact search on every net would
+			// dominate the run's cost (see oracle.Selection.Portfolio).
+			for _, name := range d.names {
+				if name != "exact" {
+					pool = append(pool, name)
+				}
+			}
 		}
 		pool = append([]string(nil), pool...)
 		sort.Strings(pool) // fixed name order: deterministic tie-break

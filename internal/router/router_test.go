@@ -183,6 +183,7 @@ func TestMethodByName(t *testing.T) {
 	for name, want := range map[string]Method{
 		"cd": CD, "CD": CD, "rsmt": L1, "l1": L1, "L1": L1,
 		"sl": SL, "pd": PD, "auto": Auto, "Portfolio": Portfolio,
+		"exact": Exact, "Exact": Exact,
 	} {
 		got, ok := MethodByName(name)
 		if !ok || got != want {
@@ -193,7 +194,7 @@ func TestMethodByName(t *testing.T) {
 		t.Fatal("unknown name resolved")
 	}
 	names := MethodNames()
-	if len(names) != 6 {
+	if len(names) != 7 {
 		t.Fatalf("MethodNames() = %v", names)
 	}
 	for _, n := range names {

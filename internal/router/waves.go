@@ -210,7 +210,10 @@ func (r *runState) runWaves() error {
 				// race.
 				wopt := opt
 				wopt.CoreOpt.Scratch = r.pool.scr[worker]
-				env := oracle.Env{Core: wopt.CoreOpt, PDAlpha: opt.PDAlpha, SLEps: opt.SLEps, LBif: r.lbif}
+				// Ctx lets the exact tier abandon a label search mid-solve
+				// on cancellation, tightening the kill latency below one
+				// full exact solve.
+				env := oracle.Env{Core: wopt.CoreOpt, PDAlpha: opt.PDAlpha, SLEps: opt.SLEps, LBif: r.lbif, Ctx: ctx}
 				for {
 					// The cancellation point of the hot loop: one check per
 					// net claim, so a kill takes effect within one solve.

@@ -5,24 +5,26 @@ import (
 	"testing"
 )
 
-// RouteChip with a fixed seed must produce identical metrics regardless
-// of worker count — for the fixed CD oracle, the Auto per-net selector
-// and the Portfolio racer, with and without the incremental engine.
-// Selection and portfolio pricing are pure functions of each instance,
-// so the worker count must never leak into the result (including the
-// per-oracle solve counters).
+// RouteChip with a fixed seed must produce identical metrics and trees
+// regardless of worker count — for the fixed CD oracle, the exact tier,
+// the Auto per-net selector and the Portfolio racer, with and without
+// the incremental engine. Selection, portfolio pricing and the exact
+// tier's budget gates are pure functions of each instance (label
+// budgets, never wall-clock), so the worker count must never leak into
+// the result (including the per-oracle solve counters).
 func TestRouteChipDeterministicAcrossThreads(t *testing.T) {
 	spec := ChipSuite(0.002)[0]
 	chip, err := GenerateChip(spec)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, m := range []Method{CD, Auto, Portfolio} {
+	for _, m := range []Method{CD, Auto, Portfolio, Exact} {
 		for _, incremental := range []bool{false, true} {
 			opt := DefaultRouterOptions()
 			opt.Waves = 3
 			opt.Incremental = incremental
 			var ref RouteMetrics
+			var refTrees []*Tree
 			for i, threads := range []int{1, 2, 8} {
 				opt.Threads = threads
 				res, err := RouteChip(chip, m, opt)
@@ -33,15 +35,25 @@ func TestRouteChipDeterministicAcrossThreads(t *testing.T) {
 				mt.Walltime = 0 // wall-clock, legitimately varies
 				if i == 0 {
 					ref = mt
+					refTrees = res.Trees
 					continue
 				}
 				if !reflect.DeepEqual(ref, mt) {
 					t.Fatalf("%v incremental=%v threads=%d changed results:\nref %+v\ngot %+v",
 						m, incremental, threads, ref, mt)
 				}
+				if !reflect.DeepEqual(refTrees, res.Trees) {
+					t.Fatalf("%v incremental=%v threads=%d changed routed trees", m, incremental, threads)
+				}
 			}
 			if m == Auto && len(ref.SolvesByOracle) < 2 {
 				t.Fatalf("auto selection degenerated to one oracle: %v", ref.SolvesByOracle)
+			}
+			if m == Auto && ref.SolvesByOracle["exact"] == 0 {
+				t.Fatalf("auto never escalated to the exact tier: %v", ref.SolvesByOracle)
+			}
+			if m == Exact && ref.SolvesByOracle["exact"] != ref.NetsSolved {
+				t.Fatalf("fixed exact run charged %v, solved %d nets", ref.SolvesByOracle, ref.NetsSolved)
 			}
 			if m == Portfolio {
 				want := ref.NetsSolved * int64(len(ref.SolvesByOracle))
@@ -54,6 +66,46 @@ func TestRouteChipDeterministicAcrossThreads(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// The default portfolio pool excludes the exact tier for cost reasons;
+// opting it in by name must stay deterministic across thread counts too
+// — the exact tier's budgets count labels, never wall-clock, so a race
+// that includes it still picks the same winner everywhere.
+func TestPortfolioWithExactDeterministic(t *testing.T) {
+	spec := ChipSuite(0.002)[0]
+	chip, err := GenerateChip(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := DefaultRouterOptions()
+	opt.Waves = 2
+	opt.Selection.Portfolio = []string{"cd", "exact", "rsmt"}
+	var ref RouteMetrics
+	var refTrees []*Tree
+	for i, threads := range []int{1, 4} {
+		opt.Threads = threads
+		res, err := RouteChip(chip, Portfolio, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mt := res.Metrics
+		mt.Walltime = 0
+		if i == 0 {
+			ref = mt
+			refTrees = res.Trees
+			continue
+		}
+		if !reflect.DeepEqual(ref, mt) {
+			t.Fatalf("threads=%d changed results:\nref %+v\ngot %+v", threads, ref, mt)
+		}
+		if !reflect.DeepEqual(refTrees, res.Trees) {
+			t.Fatalf("threads=%d changed routed trees", threads)
+		}
+	}
+	if ref.SolvesByOracle["exact"] != ref.NetsSolved {
+		t.Fatalf("exact missing from portfolio race: %v over %d nets", ref.SolvesByOracle, ref.NetsSolved)
 	}
 }
 
