@@ -153,7 +153,7 @@ func main() {
 	rep := reportJSON{
 		Date: time.Now().Format("2006-01-02"),
 		Go:   runtime.Version(),
-		CPUs: runtime.NumCPU(),
+		CPUs: runtime.GOMAXPROCS(0),
 	}
 
 	// Head-to-head.

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	grroute -chip c3 -oracle cd|rsmt|sl|pd|auto|portfolio -scale 0.01 -waves 4 [-dbif=0] [-workers 16] [-incremental]
+//	grroute -chip c1 -scale 0.05 -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
@@ -27,6 +28,8 @@ func main() {
 	seed := flag.Uint64("seed", 1, "random seed")
 	incremental := flag.Bool("incremental", false, "dirty-net scheduling: re-solve only nets invalidated by price changes after wave 0")
 	incTol := flag.Float64("inctol", 0, "incremental invalidation tolerance (relative; <0 forces every net dirty; unset: router default)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the routing run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile taken after the routing run to this file")
 	flag.Parse()
 	incTolSet := false
 	flag.Visit(func(f *flag.Flag) {
@@ -64,7 +67,9 @@ func main() {
 
 	fmt.Printf("chip %s: %d nets, %d layers, clk %.0f ps, dbif %.3f ps\n",
 		spec.Name, spec.NNets, spec.Layers, chip.ClkPeriod, chip.DBif)
+	prof := cliutil.StartProfiles("grroute", *cpuprofile, *memprofile)
 	res, err := costdist.RouteChip(chip, m, opt)
+	prof.Stop()
 	if err != nil {
 		cliutil.Fatal("grroute", err)
 	}

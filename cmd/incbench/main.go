@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"costdist"
+	"costdist/internal/cliutil"
 )
 
 type runJSON struct {
@@ -58,6 +59,7 @@ type reportJSON struct {
 	Date            string  `json:"date"`
 	Go              string  `json:"go"`
 	CPUs            int     `json:"cpus"`
+	Workers         int     `json:"workers"`
 	Chip            string  `json:"chip"`
 	Scale           float64 `json:"scale"`
 	Nets            int     `json:"nets"`
@@ -93,7 +95,12 @@ func main() {
 	perturb := flag.Float64("perturb", 0.05, "fraction of nets to perturb in the ECO scenario")
 	perturbSeed := flag.Uint64("perturb-seed", 9, "perturbation seed of the ECO scenario")
 	out := flag.String("out", "", "output file (default BENCH_incremental.json, BENCH_selection.json with -selection, BENCH_warmstart.json with -eco)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the benchmark to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
+	maxIncRatio := flag.Float64("max-inc-ratio", 0, "fail (exit 1) if incremental/full walltime exceeds this ratio (0 = no check); the CI smoke gate")
 	flag.Parse()
+	prof := cliutil.StartProfiles("incbench", *cpuprofile, *memprofile)
+	defer prof.Stop()
 	if *out == "" {
 		switch {
 		case *selection:
@@ -163,7 +170,8 @@ func main() {
 	rep := reportJSON{
 		Date:           time.Now().Format("2006-01-02"),
 		Go:             runtime.Version(),
-		CPUs:           runtime.NumCPU(),
+		CPUs:           runtime.GOMAXPROCS(0),
+		Workers:        resolvedWorkers(opt),
 		Chip:           spec.Name,
 		Scale:          *scale,
 		Nets:           len(chip.NL.Nets),
@@ -186,6 +194,25 @@ func main() {
 	}
 	fmt.Printf("solve reduction after wave 0: %.1f%%  objective delta: %+.2f%%  speedup: %.2fx\n",
 		rep.SolveReduction, rep.ObjectiveDelta, rep.WalltimeSpeedup)
+	if *maxIncRatio > 0 {
+		ratio := float64(inc.Metrics.Walltime) / float64(full.Metrics.Walltime)
+		if ratio > *maxIncRatio {
+			prof.Stop()
+			fmt.Fprintf(os.Stderr, "incbench: FAIL incremental/full walltime ratio %.3f exceeds -max-inc-ratio %.3f\n",
+				ratio, *maxIncRatio)
+			os.Exit(1)
+		}
+		fmt.Printf("incremental/full walltime ratio %.3f within bound %.3f\n", ratio, *maxIncRatio)
+	}
+}
+
+// resolvedWorkers mirrors the router's thread resolution (0 = all
+// cores), so the reports record the worker count the runs actually used.
+func resolvedWorkers(opt costdist.RouterOptions) int {
+	if opt.Threads > 0 {
+		return opt.Threads
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // selRunJSON is one oracle-driver run of the selection benchmark.
@@ -207,6 +234,7 @@ type selReportJSON struct {
 	Date             string   `json:"date"`
 	Go               string   `json:"go"`
 	CPUs             int      `json:"cpus"`
+	Workers          int      `json:"workers"`
 	Chip             string   `json:"chip"`
 	Scale            float64  `json:"scale"`
 	Nets             int      `json:"nets"`
@@ -289,7 +317,8 @@ func runSelection(chip *costdist.Chip, spec *costdist.ChipSpec, scale float64, o
 	rep := selReportJSON{
 		Date:             time.Now().Format("2006-01-02"),
 		Go:               runtime.Version(),
-		CPUs:             runtime.NumCPU(),
+		CPUs:             runtime.GOMAXPROCS(0),
+		Workers:          resolvedWorkers(opt),
 		Chip:             spec.Name,
 		Scale:            scale,
 		Nets:             len(chip.NL.Nets),
@@ -327,6 +356,7 @@ type ecoReportJSON struct {
 	Date          string  `json:"date"`
 	Go            string  `json:"go"`
 	CPUs          int     `json:"cpus"`
+	Workers       int     `json:"workers"`
 	Chip          string  `json:"chip"`
 	Scale         float64 `json:"scale"`
 	Nets          int     `json:"nets"`
@@ -387,7 +417,8 @@ func runECO(chip *costdist.Chip, spec *costdist.ChipSpec, scale, frac float64, s
 	rep := ecoReportJSON{
 		Date:          time.Now().Format("2006-01-02"),
 		Go:            runtime.Version(),
-		CPUs:          runtime.NumCPU(),
+		CPUs:          runtime.GOMAXPROCS(0),
+		Workers:       resolvedWorkers(opt),
 		Chip:          spec.Name,
 		Scale:         scale,
 		Nets:          len(chip.NL.Nets),

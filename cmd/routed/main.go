@@ -9,6 +9,10 @@
 //
 // SIGINT/SIGTERM shut the server down gracefully: in-flight jobs are
 // cancelled between per-net solves and the listener drains.
+//
+// The server also exposes the net/http/pprof endpoints under
+// /debug/pprof/, so a live instance can be CPU- or heap-profiled in
+// place: go tool pprof http://localhost:8423/debug/pprof/profile
 package main
 
 import (
@@ -17,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -60,7 +65,18 @@ func main() {
 		cliutil.Fatal("routed", err)
 	}
 
-	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	// The service handler plus the standard pprof endpoints: a live
+	// server can be profiled in place (go tool pprof
+	// http://host/debug/pprof/profile) without a restart or rebuild.
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	hs := &http.Server{Addr: *addr, Handler: mux}
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
 	drained := make(chan struct{})

@@ -1,0 +1,71 @@
+package cliutil
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Profiles owns the lifetime of the optional -cpuprofile/-memprofile
+// outputs shared by the CLI tools. StartProfiles begins CPU sampling
+// immediately; Stop flushes the CPU profile and writes a heap profile,
+// so callers defer it around the work they want captured:
+//
+//	prof := cliutil.StartProfiles("grroute", *cpuprofile, *memprofile)
+//	defer prof.Stop()
+//
+// Empty paths disable the corresponding profile; a Profiles zero value
+// is inert, so Stop is always safe to defer.
+type Profiles struct {
+	cmd     string
+	cpu     *os.File
+	memPath string
+}
+
+// StartProfiles opens the requested profile outputs and starts the CPU
+// profile. Failures to open or start are fatal (exit 1): a benchmark
+// run that silently dropped its profile would waste the whole run.
+func StartProfiles(cmd, cpuPath, memPath string) *Profiles {
+	p := &Profiles{cmd: cmd, memPath: memPath}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			Fatal(cmd, fmt.Errorf("create cpu profile: %w", err))
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			Fatal(cmd, fmt.Errorf("start cpu profile: %w", err))
+		}
+		p.cpu = f
+	}
+	return p
+}
+
+// Stop ends CPU sampling, flushes the profile file and, when requested,
+// writes an up-to-date heap profile.
+func (p *Profiles) Stop() {
+	if p == nil {
+		return
+	}
+	if p.cpu != nil {
+		pprof.StopCPUProfile()
+		if err := p.cpu.Close(); err != nil {
+			Fatal(p.cmd, fmt.Errorf("close cpu profile: %w", err))
+		}
+		p.cpu = nil
+	}
+	if p.memPath != "" {
+		f, err := os.Create(p.memPath)
+		if err != nil {
+			Fatal(p.cmd, fmt.Errorf("create mem profile: %w", err))
+		}
+		runtime.GC() // materialize final live-heap state
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			Fatal(p.cmd, fmt.Errorf("write mem profile: %w", err))
+		}
+		if err := f.Close(); err != nil {
+			Fatal(p.cmd, fmt.Errorf("close mem profile: %w", err))
+		}
+		p.memPath = ""
+	}
+}

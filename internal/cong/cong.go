@@ -9,6 +9,7 @@ import (
 	"math"
 	"sort"
 
+	"costdist/internal/geom"
 	"costdist/internal/grid"
 )
 
@@ -84,27 +85,62 @@ func NewPricer(g *grid.Graph, alpha, target float64) *Pricer {
 // Update applies one multiplicative-weights step from the wave's usage.
 func (p *Pricer) Update(u *Usage) {
 	for s := range p.Mult {
-		cap := p.G.Cap[s]
-		var ratio float64
-		if cap <= 0 {
-			// Blocked segment: treat any usage as infinite overflow.
-			if u.U[s] > 0 {
-				ratio = 4
-			} else {
-				ratio = 0
-			}
-		} else {
-			ratio = float64(u.U[s]) / float64(cap)
-		}
-		m := float64(p.Mult[s]) * math.Exp(p.Alpha*(ratio-p.Target))
-		if m < 1 {
-			m = 1
-		}
-		if m > p.MaxMult {
-			m = p.MaxMult
-		}
-		p.Mult[s] = float32(m)
+		p.step(s, u.U[s])
 	}
+}
+
+// step updates one segment's multiplier from its usage. The fast path
+// skips the exponential for the dominant case — an unpriced segment
+// (mult exactly 1) at or below the target utilization: there
+// exp(α·(ratio−target)) ≤ 1, so the update clamps back to exactly 1 and
+// the result is bitwise what the slow path computes.
+func (p *Pricer) step(s int, use float32) {
+	cap := p.G.Cap[s]
+	var ratio float64
+	if cap <= 0 {
+		// Blocked segment: treat any usage as infinite overflow.
+		if use > 0 {
+			ratio = 4
+		}
+	} else {
+		ratio = float64(use) / float64(cap)
+	}
+	if p.Mult[s] == 1 && ratio <= p.Target && p.Alpha >= 0 {
+		return
+	}
+	m := float64(p.Mult[s]) * math.Exp(p.Alpha*(ratio-p.Target))
+	if m < 1 {
+		m = 1
+	}
+	if m > p.MaxMult {
+		m = p.MaxMult
+	}
+	p.Mult[s] = float32(m)
+}
+
+// UpdateTracked applies one multiplicative-weights step and, in the same
+// pass over the segments, diffs the new multipliers against the delta
+// tracker's reference. The router calls this at the end of each wave so
+// the two chip-wide sweeps the incremental engine used to pay per wave —
+// Pricer.Update at wave end, then DeltaTracker.Update at the next wave's
+// start — collapse into one. Results are bitwise identical to
+// p.Update(u) followed by t.Update(p.Mult); t must track the same grid.
+func (p *Pricer) UpdateTracked(t *DeltaTracker, u *Usage) (rects []geom.Rect, changedSegs int) {
+	fullDirty := t.Tol < 0
+	for s := range p.Mult {
+		p.step(s, u.U[s])
+		m := p.Mult[s]
+		if !fullDirty && m == t.ref[s] {
+			continue
+		}
+		d := math.Abs(float64(m) - float64(t.ref[s]))
+		if d > t.Tol*float64(t.ref[s]) {
+			t.ref[s] = m
+			changedSegs++
+			t.marks.markRect(p.G.SegRect(int32(s)))
+		}
+	}
+	return t.marks.rects(), changedSegs
 }
 
 // Costs returns a grid.Costs view of the current prices.

@@ -121,7 +121,16 @@ func (t *DeltaTracker) SetRef(ref []float32) {
 // wave's delta volume.
 func (t *DeltaTracker) Update(mult []float32) (rects []geom.Rect, changedSegs int) {
 	g := t.G
+	// Tol < 0 is the forced-dirty mode: every segment counts as changed,
+	// equal values included, so the fast path must not skip them.
+	fullDirty := t.Tol < 0
 	for s := range t.ref {
+		// Fast path: an unchanged multiplier has drift exactly 0, which a
+		// non-negative tolerance never reports. Typical waves change a few
+		// percent of the segments, so this skips almost the whole sweep.
+		if !fullDirty && mult[s] == t.ref[s] {
+			continue
+		}
 		d := math.Abs(float64(mult[s]) - float64(t.ref[s]))
 		if d > t.Tol*float64(t.ref[s]) {
 			t.ref[s] = mult[s]

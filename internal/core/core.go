@@ -25,8 +25,6 @@ package core
 import (
 	"costdist/internal/geom"
 	"costdist/internal/grid"
-	"costdist/internal/heaps"
-	"costdist/internal/sparse"
 )
 
 // Options selects the practical enhancements. The zero value is the
@@ -54,6 +52,16 @@ type Options struct {
 	// FlatHeap replaces the two-level heap with a single global heap
 	// (ablation of §III-B; results are identical, speed differs).
 	FlatHeap bool
+	// DialQueue backs each component's search with a monotone bucket
+	// (dial) queue instead of a binary heap. The dial pops the exact
+	// minimum key in O(1) amortized, but its tie order among
+	// bitwise-equal keys is its own, so routes can differ from the
+	// binary-heap default (both are valid solutions; the golden digests
+	// pin the default). Off by default: uniform-cost waves produce huge
+	// equal-key classes and the zero-cost own-component arcs of §III-A
+	// defeat the classic bucket-width argument, so the dial measured no
+	// faster than the heap on the chip suite. Ignored under FlatHeap.
+	DialQueue bool
 	// Scratch, when non-nil, supplies a reusable arena for the solver's
 	// per-call state (components, heaps, label maps, ownership stamps).
 	// Results are bit-identical with or without it. A Scratch must not
@@ -111,29 +119,33 @@ type comp struct {
 	rep  grid.V // representative terminal position
 	bbox geom.Rect
 
-	labels *sparse.Map
-	heap   heaps.Lazy[entry]
+	labels labelStore
+	queue  compQueue
 
 	// Best root-connection candidate found so far (kept out of the heap
 	// because its penalty term changes when the active weight shrinks).
 	rootG   float64
 	rootAt  grid.V
+	rootIdx int32 // window index of rootAt
 	hasRoot bool
 
 	// astar is true while this search uses future costs.
 	astar bool
 }
 
-// entry is a heap element of one component's search.
+// entry is a queue element of one component's search.
 type entry struct {
 	g float64 // true distance label (without heuristic or penalty)
-	v grid.V
-	// target is the component id this entry would connect to, or -1 for
-	// an ordinary expansion entry.
-	target int32
 	// b is the penalty included in the key at push time (for staleness
 	// checks on connect entries).
 	b float64
+	v grid.V
+	// idx is v's dense index in the solve's routing window — the label
+	// key, carried so queue pops never re-derive it by division.
+	idx int32
+	// target is the component id this entry would connect to, or -1 for
+	// an ordinary expansion entry.
+	target int32
 }
 
 // rebuildArc reconstructs the grid arc from prev to v given the stored

@@ -7,12 +7,12 @@ import (
 )
 
 // Scratch is a reusable solver arena. A single Solve call on a t-sink
-// instance allocates O(t) component records, label maps, heap storage
+// instance allocates O(t) component records, label stores, queue storage
 // and ownership stamps; routing re-solves every net once per
 // rip-up-and-reroute wave, so those allocations dominate the hot path.
 // A Scratch retains all of that state between calls and resets it in
-// O(touched) — label maps and the ownership map clear by bumping a
-// generation stamp (O(1)), heaps and the union-find reset in O(t), and
+// O(touched) — label stores and the ownership stamps clear by bumping a
+// generation stamp (O(1)), queues and the union-find reset in O(t), and
 // component records are recycled through a free list.
 //
 // Pass a Scratch via Options.Scratch. Results are bit-identical to
@@ -26,6 +26,7 @@ type Scratch struct {
 	sol      solver // reused solver; its containers retain capacity
 	compPool []*comp
 	mapPool  []*sparse.Map
+	slabPool []*sparse.LabelSlab
 	pcg      *rand.PCG
 
 	// Solves counts completed calls through this arena (cheap visibility
@@ -42,35 +43,50 @@ func NewScratch() *Scratch {
 	return scr
 }
 
-// newComp returns a zeroed component record, recycling heap storage from
-// merged components of earlier solves.
+// newComp returns a zeroed component record, recycling queue storage
+// from merged components of earlier solves.
 func (scr *Scratch) newComp() *comp {
 	if n := len(scr.compPool); n > 0 {
 		c := scr.compPool[n-1]
 		scr.compPool = scr.compPool[:n-1]
-		h := c.heap
-		h.Reset()
-		*c = comp{heap: h}
+		q := c.queue
+		q.Clear()
+		*c = comp{queue: q}
 		return c
 	}
 	return &comp{}
 }
 
-// getMap returns an empty label map, recycling capacity.
-func (scr *Scratch) getMap() *sparse.Map {
+// getLabels returns an empty label store for the current solve: a dense
+// slab over the solve's index window when it fits slabMaxVerts, a hash
+// map otherwise. Capacity is recycled through per-kind pools.
+func (scr *Scratch) getLabels() labelStore {
+	if scr.sol.useSlab {
+		var s *sparse.LabelSlab
+		if n := len(scr.slabPool); n > 0 {
+			s = scr.slabPool[n-1]
+			scr.slabPool = scr.slabPool[:n-1]
+		} else {
+			s = new(sparse.LabelSlab)
+		}
+		s.Reset(scr.sol.winSize)
+		return labelStore{slab: s}
+	}
 	if n := len(scr.mapPool); n > 0 {
 		m := scr.mapPool[n-1]
 		scr.mapPool = scr.mapPool[:n-1]
 		m.Reset()
-		return m
+		return labelStore{m: m}
 	}
-	return sparse.NewMap(64)
+	return labelStore{m: sparse.NewMap(64)}
 }
 
-// putMap returns a label map to the pool.
-func (scr *Scratch) putMap(m *sparse.Map) {
-	if m != nil {
-		scr.mapPool = append(scr.mapPool, m)
+// putLabels returns a label store's backing to its pool.
+func (scr *Scratch) putLabels(ls labelStore) {
+	if ls.slab != nil {
+		scr.slabPool = append(scr.slabPool, ls.slab)
+	} else if ls.m != nil {
+		scr.mapPool = append(scr.mapPool, ls.m)
 	}
 }
 
@@ -89,14 +105,14 @@ func (scr *Scratch) reseed(seed uint64) *rand.Rand {
 	return scr.sol.rng
 }
 
-// release returns the previous solve's component records and label maps
-// to the pools. It runs at the start of the next solve (rather than at
-// the end of the current one) so error paths need no cleanup.
+// release returns the previous solve's component records and label
+// stores to the pools. It runs at the start of the next solve (rather
+// than at the end of the current one) so error paths need no cleanup.
 func (scr *Scratch) release() {
 	s := &scr.sol
 	for _, c := range s.comps {
-		scr.putMap(c.labels)
-		c.labels = nil
+		scr.putLabels(c.labels)
+		c.labels = labelStore{}
 		scr.compPool = append(scr.compPool, c)
 	}
 	s.comps = s.comps[:0]

@@ -26,7 +26,7 @@ func Solve(in *nets.Instance, opt Options) (*nets.RTree, error) {
 // Figure 3 reproduction and debugging). The callback may be nil.
 //
 // When opt.Scratch is non-nil the solver runs out of that arena,
-// recycling component, heap and label storage from earlier calls; the
+// recycling component, queue and label storage from earlier calls; the
 // result is bit-identical to a scratch-free solve.
 func SolveTraced(in *nets.Instance, opt Options, trace func(TraceEvent)) (*nets.RTree, error) {
 	scr := opt.Scratch
@@ -51,13 +51,35 @@ func (scr *Scratch) solve(in *nets.Instance, opt Options, trace func(TraceEvent)
 	s.in, s.opt = in, opt
 	s.g, s.costs = in.G, in.C
 	s.trace = trace
-	s.owner.Reset()
-	s.flat.Reset()
 	s.steps = s.steps[:0]
 	s.activeW, s.alive, s.iter = 0, 0, 0
 	s.rng = scr.reseed(in.Seed)
 	s.minCost = in.C.MinCostPerGCell()
 	s.minDelay = in.C.MinDelayPerGCell()
+
+	// Dense index window over everything the solve can touch: movement is
+	// confined to in.Win, and searches seed at terminals, which the
+	// instance parser places inside the window (the union below is
+	// defensive and free). Labels are keyed by window index so lookups
+	// need no hashing and neighbor indices are one addition away.
+	idxRect := in.Win.Add(in.G.Pt(in.Root))
+	for _, sk := range in.Sinks {
+		idxRect = idxRect.Add(in.G.Pt(sk.V))
+	}
+	s.win = in.G.NewWindow(idxRect)
+	s.winW = idxRect.W()
+	s.winWH = s.winW * idxRect.H()
+	// int math: Window.Size would overflow int32 on huge windows.
+	s.winSize = int(idxRect.W()) * int(idxRect.H()) * len(in.G.Layers)
+	s.useSlab = s.winSize > 0 && s.winSize <= slabMaxVerts
+	s.useDial = opt.DialQueue && !opt.FlatHeap
+	s.useFlatOwner = int(in.G.NumV()) <= ownerFlatMaxV
+	if s.useFlatOwner {
+		s.flatOwner.Reset(int(in.G.NumV()))
+	} else {
+		s.owner.Reset()
+	}
+	s.flat.Reset()
 
 	// Root component (id 0).
 	root := scr.newComp()
@@ -65,34 +87,30 @@ func (scr *Scratch) solve(in *nets.Instance, opt Options, trace func(TraceEvent)
 	root.rep = in.Root
 	root.bbox = ptRect(in.G.Pt(in.Root))
 	s.comps = append(s.comps, root)
-	s.owner.Put(int32(in.Root), 0)
+	s.ownerPut(in.Root, 0)
 
-	// Sink components, grouped by vertex; sinks at the root vertex are
-	// already connected.
-	if s.byVertex == nil {
-		s.byVertex = make(map[grid.V]float64)
-	} else {
-		clear(s.byVertex)
-	}
-	s.order = s.order[:0]
+	// Sink components, grouped by vertex (coincident sinks share one
+	// component, their weights adding in input order); sinks at the root
+	// vertex are already connected. The ownership stamps double as the
+	// grouping index, so setup needs no scratch hash map.
 	for _, sk := range in.Sinks {
 		if sk.V == in.Root {
 			continue
 		}
-		if _, ok := s.byVertex[sk.V]; !ok {
-			s.order = append(s.order, sk.V)
+		if id, ok := s.ownerGet(sk.V); ok {
+			s.comps[id].weight += sk.W
+			continue
 		}
-		s.byVertex[sk.V] += sk.W
-	}
-	for _, v := range s.order {
 		c := scr.newComp()
 		c.id = int32(len(s.comps))
-		c.weight = s.byVertex[v]
+		c.weight = sk.W
 		c.alive = true
-		c.rep = v
-		c.bbox = ptRect(in.G.Pt(v))
+		c.rep = sk.V
+		c.bbox = ptRect(in.G.Pt(sk.V))
 		s.comps = append(s.comps, c)
-		s.owner.Put(int32(v), c.id)
+		s.ownerPut(sk.V, c.id)
+	}
+	for _, c := range s.comps[1:] {
 		s.activeW += c.weight
 		s.alive++
 	}
@@ -140,21 +158,31 @@ type solver struct {
 	costs *grid.Costs
 
 	comps   []*comp
-	owner   sparse.I32Map
 	sets    *dsu.DSU
 	top     *heaps.Indexed
 	rootTop *heaps.Indexed
 	flat    heaps.Lazy[flatEntry]
+
+	// Vertex-ownership stamps: a flat per-graph array when the graph
+	// fits ownerFlatMaxV, a hash map otherwise.
+	owner        sparse.I32Map
+	flatOwner    sparse.FlatI32
+	useFlatOwner bool
+
+	// win indexes every vertex the solve can touch densely; winW and
+	// winWH are its x and x·y strides for O(1) neighbor index steps.
+	win     grid.Window
+	winW    int32
+	winWH   int32
+	winSize int
+	useSlab bool
+	useDial bool
 
 	activeW float64
 	alive   int
 	iter    int
 	steps   []nets.Step
 	pathBuf []grid.V
-
-	// byVertex and order group coincident sinks during setup.
-	byVertex map[grid.V]float64
-	order    []grid.V
 
 	minCost, minDelay float64
 	rng               *rand.Rand
@@ -166,9 +194,32 @@ type flatEntry struct {
 	e    entry
 }
 
+func (s *solver) ownerGet(v grid.V) (int32, bool) {
+	if s.useFlatOwner {
+		return s.flatOwner.Get(int32(v))
+	}
+	return s.owner.Get(int32(v))
+}
+
+func (s *solver) ownerPut(v grid.V, id int32) {
+	if s.useFlatOwner {
+		s.flatOwner.Put(int32(v), id)
+		return
+	}
+	s.owner.Put(int32(v), id)
+}
+
+func (s *solver) ownerPutIfAbsent(v grid.V, id int32) {
+	if s.useFlatOwner {
+		s.flatOwner.PutIfAbsent(int32(v), id)
+		return
+	}
+	s.owner.PutIfAbsent(int32(v), id)
+}
+
 // resolveOwner returns the current alive component owning v, or -1.
 func (s *solver) resolveOwner(v grid.V) int32 {
-	id, ok := s.owner.Get(int32(v))
+	id, ok := s.ownerGet(v)
 	if !ok {
 		return -1
 	}
@@ -237,19 +288,22 @@ func rectDist(p geom.Pt, r geom.Rect) int64 {
 
 // startSearch initializes component c's Dijkstra from its representative.
 func (s *solver) startSearch(c *comp) {
-	c.labels = s.scr.getMap()
-	c.heap.Reset()
+	c.labels = s.scr.getLabels()
+	// One congestion-free gcell step under c's metric is the natural
+	// dial bucket width: frontier keys then span a handful of buckets.
+	c.queue.Reset(s.useDial, s.minCost+c.weight*s.minDelay)
 	c.hasRoot = false
 	c.astar = s.opt.AStar && s.alive <= s.opt.AStarMaxTargets+1
-	lab, _ := c.labels.Put(int32(c.rep))
+	idx := s.win.Index(c.rep)
+	lab, _ := c.labels.Put(idx)
 	lab.Dist = 0
 	lab.Prev = -1
 	lab.Arc = codeSeed
-	s.push(c, entry{g: 0, v: c.rep, target: -1})
+	s.push(c, entry{g: 0, v: c.rep, idx: idx, target: -1})
 	s.refreshTop(c)
 }
 
-// push inserts an entry into c's heap (or the flat heap) with its key.
+// push inserts an entry into c's queue (or the flat heap) with its key.
 func (s *solver) push(c *comp, e entry) {
 	key := e.g + e.b
 	if e.target < 0 {
@@ -259,10 +313,10 @@ func (s *solver) push(c *comp, e entry) {
 		s.flat.Push(key, flatEntry{comp: c.id, e: e})
 		return
 	}
-	c.heap.Push(key, e)
+	c.queue.Push(key, e)
 }
 
-// refreshTop purges stale entries from c's heap and publishes its
+// refreshTop purges stale entries from c's queue and publishes its
 // current minimum to the top-level heap, implementing §III-B.
 func (s *solver) refreshTop(c *comp) {
 	if s.opt.FlatHeap {
@@ -273,21 +327,21 @@ func (s *solver) refreshTop(c *comp) {
 		s.rootTop.Set(c.id, heaps.Inf)
 		return
 	}
-	for c.heap.Len() > 0 {
-		key, e := c.heap.Peek()
+	for c.queue.Len() > 0 {
+		key, e := c.queue.Peek()
 		fresh, repl, newKey, doRepush := s.validate(c, e, key)
 		if fresh {
 			break
 		}
-		c.heap.Pop()
+		c.queue.Pop()
 		if doRepush {
-			c.heap.Push(newKey, repl)
+			c.queue.Push(newKey, repl)
 		}
 	}
-	if c.heap.Len() == 0 {
+	if c.queue.Len() == 0 {
 		s.top.Set(c.id, heaps.Inf)
 	} else {
-		s.top.Set(c.id, c.heap.MinKey())
+		s.top.Set(c.id, c.queue.MinKey())
 	}
 	s.publishRoot(c)
 }
@@ -301,12 +355,12 @@ func (s *solver) publishRoot(c *comp) {
 	s.rootTop.Set(c.id, c.rootG+s.bRoot(c))
 }
 
-// validate checks whether a heap entry is current. It returns
+// validate checks whether a queue entry is current. It returns
 // fresh=true when the entry can be acted on with its stored key. A
 // stale entry may come back as a corrected replacement (re-push with
 // newKey); repush=false means drop it.
 func (s *solver) validate(c *comp, e entry, key float64) (fresh bool, repush entry, newKey float64, doRepush bool) {
-	lab := c.labels.Get(int32(e.v))
+	lab := c.labels.Get(e.idx)
 	if lab == nil || e.g > lab.Dist+1e-12 {
 		return false, entry{}, 0, false // superseded by a better label
 	}
@@ -323,12 +377,13 @@ func (s *solver) validate(c *comp, e entry, key float64) (fresh bool, repush ent
 				if !c.hasRoot || e.g < c.rootG {
 					c.rootG = e.g
 					c.rootAt = e.v
+					c.rootIdx = e.idx
 					c.hasRoot = true
 				}
 				return false, entry{}, 0, false
 			}
 			b := s.bConnect(c, jc)
-			return false, entry{g: e.g, v: e.v, target: own, b: b}, e.g + b, true
+			return false, entry{g: e.g, v: e.v, idx: e.idx, target: own, b: b}, e.g + b, true
 		}
 		return true, entry{}, 0, false
 	}
@@ -338,10 +393,11 @@ func (s *solver) validate(c *comp, e entry, key float64) (fresh bool, repush ent
 	}
 	jc := s.comps[j]
 	if jc.isRoot {
-		// Root candidates live outside the heap; convert.
+		// Root candidates live outside the queue; convert.
 		if !c.hasRoot || e.g < c.rootG {
 			c.rootG = e.g
 			c.rootAt = e.v
+			c.rootIdx = e.idx
 			c.hasRoot = true
 		}
 		return false, entry{}, 0, false
@@ -349,7 +405,7 @@ func (s *solver) validate(c *comp, e entry, key float64) (fresh bool, repush ent
 	b := s.bConnect(c, jc)
 	if j != e.target || e.g+b > key+1e-12 {
 		// Target id or penalty changed: re-push with the current key.
-		return false, entry{g: e.g, v: e.v, target: j, b: b}, e.g + b, true
+		return false, entry{g: e.g, v: e.v, idx: e.idx, target: j, b: b}, e.g + b, true
 	}
 	return true, entry{}, 0, false
 }
@@ -363,11 +419,11 @@ func (s *solver) step() error {
 		return fmt.Errorf("core: no events left with %d active components (disconnected window?)", s.alive)
 	}
 	if isRoot {
-		s.merge(c, s.comps[0].id, c.rootAt, true)
+		s.merge(c, s.comps[0].id, c.rootAt, c.rootIdx, true)
 		return nil
 	}
 	if e.target >= 0 {
-		s.merge(c, s.sets.Find(e.target), e.v, false)
+		s.merge(c, s.sets.Find(e.target), e.v, e.idx, false)
 		return nil
 	}
 	s.expand(c, e)
@@ -390,11 +446,11 @@ func (s *solver) popGlobal() (*comp, entry, bool, bool) {
 			return c, entry{}, true, true
 		}
 		c := s.comps[slot]
-		_, e := c.heap.Pop()
+		_, e := c.queue.Pop()
 		fresh, repl, newKey, doRepush := s.validate(c, e, key)
 		if !fresh {
 			if doRepush {
-				c.heap.Push(newKey, repl)
+				c.queue.Push(newKey, repl)
 			}
 			s.refreshTop(c)
 			continue
@@ -449,81 +505,163 @@ func (s *solver) popFlat() (*comp, entry, bool, bool) {
 
 // expand settles e.v for component c and relaxes its outgoing arcs under
 // the metric l_c = cost + w(c)·delay (eq. 4), with §III-A discounting.
+// The directions are unrolled in the exact order grid.Arcs emits them
+// (dir−, dir+, via-down, via-up): neighbor window indices come from
+// stride arithmetic and each direction's label slot and congestion
+// multiplier are looked up once, not per wire type.
 func (s *solver) expand(c *comp, e entry) {
-	lab := c.labels.Get(int32(e.v))
+	lab := c.labels.Get(e.idx)
 	lab.Perm = true
 	fromOwn := s.resolveOwner(e.v) == c.id
-	s.g.Arcs(e.v, s.in.Win, func(a grid.Arc) bool {
-		to := a.To
-		own := s.resolveOwner(to)
-		if s.opt.Discount {
-			switch {
-			case own == c.id:
-				// Own component: traversable at zero connection cost
-				// (§III-A), but only along the component (no re-entry
-				// from outside, which would close cycles).
-				if fromOwn {
-					s.relax(c, to, e.g+c.weight*s.costs.ArcDelay(a), e.v, a, -1)
-				}
-			case own >= 0:
-				// Any vertex of another component completes a
-				// connection (§III-A end-component discounting).
-				ng := e.g + s.costs.ArcCost(a) + c.weight*s.costs.ArcDelay(a)
-				s.relax(c, to, ng, e.v, a, own)
-			default:
-				ng := e.g + s.costs.ArcCost(a) + c.weight*s.costs.ArcDelay(a)
-				s.relax(c, to, ng, e.v, a, -1)
-			}
-			return true
+	g := s.g
+	x, y, l := g.XYL(e.v)
+	lay := &g.Layers[l]
+	win := s.in.Win
+	if lay.Dir == grid.DirH {
+		if x > win.X0 {
+			s.relaxWire(c, &e, e.v-1, e.idx-1, g.SegH(l, y, x-1), lay, fromOwn)
 		}
-		// Base §II algorithm: connections complete only at the
-		// representative terminal of another component; every other
-		// vertex (including own-component ones) is plain space.
-		ng := e.g + s.costs.ArcCost(a) + c.weight*s.costs.ArcDelay(a)
-		if own >= 0 && own != c.id && to == s.comps[own].rep {
-			s.relax(c, to, ng, e.v, a, own)
-			return true
+		if x < win.X1 {
+			s.relaxWire(c, &e, e.v+1, e.idx+1, g.SegH(l, y, x), lay, fromOwn)
 		}
-		s.relax(c, to, ng, e.v, a, -1)
-		return true
-	})
+	} else {
+		if y > win.Y0 {
+			s.relaxWire(c, &e, e.v-grid.V(g.NX), e.idx-s.winW, g.SegV(l, x, y-1), lay, fromOwn)
+		}
+		if y < win.Y1 {
+			s.relaxWire(c, &e, e.v+grid.V(g.NX), e.idx+s.winW, g.SegV(l, x, y), lay, fromOwn)
+		}
+	}
+	if l > 0 {
+		s.relaxVia(c, &e, e.v-grid.V(g.NX*g.NY), e.idx-s.winWH, g.ViaSeg(l-1, x, y), l-1, fromOwn)
+	}
+	if int(l)+1 < len(g.Layers) {
+		s.relaxVia(c, &e, e.v+grid.V(g.NX*g.NY), e.idx+s.winWH, g.ViaSeg(l, x, y), l, fromOwn)
+	}
 	s.refreshTop(c)
 }
 
-// relax updates the label for `to` in c's search and pushes an entry.
-// target ≥ 0 marks a connection candidate into that component.
-func (s *solver) relax(c *comp, to grid.V, ng float64, from grid.V, a grid.Arc, target int32) {
-	lab, existed := c.labels.Put(int32(to))
+// relaxWire relaxes the wire move from e's vertex to `to` across seg,
+// once per wire type of the layer. The per-wire-type label check and
+// write sequence is exactly the historical per-arc relax, so results are
+// bit-identical; only the label lookup and multiplier load are hoisted.
+func (s *solver) relaxWire(c *comp, e *entry, to grid.V, toIdx, seg int32, lay *grid.Layer, fromOwn bool) {
+	own := s.resolveOwner(to)
+	if s.opt.Discount && own == c.id {
+		// Own component: traversable at zero connection cost (§III-A),
+		// but only along the component (no re-entry from outside, which
+		// would close cycles).
+		if !fromOwn {
+			return
+		}
+		lab, existed := c.labels.Put(toIdx)
+		for wt := range lay.Wires {
+			ng := e.g + c.weight*lay.Wires[wt].DelayPerGCell
+			if existed && (lab.Perm || ng >= lab.Dist-1e-15) {
+				continue
+			}
+			lab.Dist = ng
+			lab.Prev = e.idx
+			lab.Perm = false
+			lab.Arc = uint8(wt)
+			existed = true
+			s.push(c, entry{g: ng, v: to, idx: toIdx, target: -1})
+		}
+		return
+	}
+	// With §III-A discounting, any vertex of another component completes
+	// a connection; the base §II algorithm connects only at its
+	// representative terminal.
+	tgt := int32(-1)
+	if own >= 0 && own != c.id && (s.opt.Discount || to == s.comps[own].rep) {
+		tgt = own
+	}
+	mult := float64(s.costs.Mult[seg])
+	lab, existed := c.labels.Put(toIdx)
+	for wt := range lay.Wires {
+		w := &lay.Wires[wt]
+		ng := e.g + mult*w.CostPerGCell + c.weight*w.DelayPerGCell
+		if existed && (lab.Perm || ng >= lab.Dist-1e-15) {
+			continue
+		}
+		lab.Dist = ng
+		lab.Prev = e.idx
+		lab.Perm = false
+		lab.Arc = uint8(wt)
+		existed = true
+		if tgt >= 0 {
+			j := s.comps[tgt]
+			if j.isRoot {
+				if !c.hasRoot || ng < c.rootG {
+					c.rootG = ng
+					c.rootAt = to
+					c.rootIdx = toIdx
+					c.hasRoot = true
+				}
+				continue
+			}
+			s.push(c, entry{g: ng, v: to, idx: toIdx, target: tgt, b: s.bConnect(c, j)})
+			continue
+		}
+		s.push(c, entry{g: ng, v: to, idx: toIdx, target: -1})
+	}
+}
+
+// relaxVia relaxes the via move from e's vertex to `to`; l names the
+// lower layer, which owns the via's cost and delay.
+func (s *solver) relaxVia(c *comp, e *entry, to grid.V, toIdx, seg int32, l int32, fromOwn bool) {
+	own := s.resolveOwner(to)
+	lay := &s.g.Layers[l]
+	if s.opt.Discount && own == c.id {
+		if !fromOwn {
+			return
+		}
+		ng := e.g + c.weight*lay.ViaDelay
+		lab, existed := c.labels.Put(toIdx)
+		if existed && (lab.Perm || ng >= lab.Dist-1e-15) {
+			return
+		}
+		lab.Dist = ng
+		lab.Prev = e.idx
+		lab.Perm = false
+		lab.Arc = codeVia
+		s.push(c, entry{g: ng, v: to, idx: toIdx, target: -1})
+		return
+	}
+	tgt := int32(-1)
+	if own >= 0 && own != c.id && (s.opt.Discount || to == s.comps[own].rep) {
+		tgt = own
+	}
+	ng := e.g + float64(s.costs.Mult[seg])*lay.ViaCost + c.weight*lay.ViaDelay
+	lab, existed := c.labels.Put(toIdx)
 	if existed && (lab.Perm || ng >= lab.Dist-1e-15) {
 		return
 	}
 	lab.Dist = ng
-	lab.Prev = int32(from)
+	lab.Prev = e.idx
 	lab.Perm = false
-	if a.Via {
-		lab.Arc = codeVia
-	} else {
-		lab.Arc = uint8(a.WT)
-	}
-	if target >= 0 {
-		j := s.comps[target]
+	lab.Arc = codeVia
+	if tgt >= 0 {
+		j := s.comps[tgt]
 		if j.isRoot {
 			if !c.hasRoot || ng < c.rootG {
 				c.rootG = ng
 				c.rootAt = to
+				c.rootIdx = toIdx
 				c.hasRoot = true
 			}
 			return
 		}
-		s.push(c, entry{g: ng, v: to, target: target, b: s.bConnect(c, j)})
+		s.push(c, entry{g: ng, v: to, idx: toIdx, target: tgt, b: s.bConnect(c, j)})
 		return
 	}
-	s.push(c, entry{g: ng, v: to, target: -1})
+	s.push(c, entry{g: ng, v: to, idx: toIdx, target: -1})
 }
 
-// merge commits the connection of c to component jid at vertex p,
-// reconstructs the connection path, and starts the merged search.
-func (s *solver) merge(c *comp, jid int32, p grid.V, toRoot bool) {
+// merge commits the connection of c to component jid at vertex p (window
+// index pIdx), reconstructs the connection path, and starts the merged
+// search.
+func (s *solver) merge(c *comp, jid int32, p grid.V, pIdx int32, toRoot bool) {
 	j := s.comps[jid]
 
 	// Reconstruct path from p back to c's seed. When nobody traces, the
@@ -533,20 +671,21 @@ func (s *solver) merge(c *comp, jid int32, p grid.V, toRoot bool) {
 	if s.trace != nil {
 		path = nil
 	}
-	cur := p
+	cur, curIdx := p, pIdx
 	for {
 		path = append(path, cur)
-		lab := c.labels.Get(int32(cur))
+		lab := c.labels.Get(curIdx)
 		if lab == nil || lab.Arc == codeSeed {
 			break
 		}
-		prev := grid.V(lab.Prev)
+		prevIdx := lab.Prev
+		prev := s.win.Vertex(prevIdx)
 		// Own-component hops are existing tree edges; skip re-emitting.
 		if !(s.resolveOwner(prev) == c.id && s.resolveOwner(cur) == c.id) {
 			arc := rebuildArc(s.g, prev, cur, lab.Arc)
 			s.steps = append(s.steps, nets.Step{From: prev, Arc: arc})
 		}
-		cur = prev
+		cur, curIdx = prev, prevIdx
 	}
 	if s.trace == nil {
 		s.pathBuf = path
@@ -570,7 +709,7 @@ func (s *solver) merge(c *comp, jid int32, p grid.V, toRoot bool) {
 	k.bbox = c.bbox.Union(j.bbox)
 	for _, v := range path {
 		k.bbox = k.bbox.Add(s.g.Pt(v))
-		s.owner.PutIfAbsent(int32(v), nid)
+		s.ownerPutIfAbsent(v, nid)
 	}
 	if toRoot {
 		k.isRoot = true
@@ -584,13 +723,13 @@ func (s *solver) merge(c *comp, jid int32, p grid.V, toRoot bool) {
 	}
 	ev.NewRep = s.g.Pt(k.rep)
 
-	// Deactivate the merged pair, returning their label maps to the
+	// Deactivate the merged pair, returning their label stores to the
 	// arena.
 	for _, old := range [2]*comp{c, j} {
 		old.alive = false
-		s.scr.putMap(old.labels)
-		old.labels = nil
-		old.heap.Reset()
+		s.scr.putLabels(old.labels)
+		old.labels = labelStore{}
+		old.queue.Clear()
 		s.refreshTop(old)
 	}
 	s.comps = append(s.comps, k)

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"costdist/internal/heaps"
+	"costdist/internal/sparse"
+)
+
+// slabMaxVerts caps the routing-window size (in vertices) for which a
+// component's labels live in a dense generation-stamped array
+// (sparse.LabelSlab, 24 B/vertex) instead of a hash map. Most nets'
+// windows fit; huge windows fall back to the map to bound arena memory.
+const slabMaxVerts = 1 << 16
+
+// ownerFlatMaxV caps the graph size (in vertices) for which the
+// vertex-ownership stamps live in a flat per-graph array (8 B/vertex per
+// arena) instead of a hash map.
+const ownerFlatMaxV = 1 << 25
+
+// labelStore is a component's label container: a dense slab when the
+// solve's window fits slabMaxVerts, a hash map otherwise. Both are keyed
+// by dense window indices and behave identically; only the lookup cost
+// differs. The zero value marks "no labels attached".
+type labelStore struct {
+	slab *sparse.LabelSlab
+	m    *sparse.Map
+}
+
+func (ls labelStore) Get(i int32) *sparse.Label {
+	if ls.slab != nil {
+		return ls.slab.Get(i)
+	}
+	return ls.m.Get(i)
+}
+
+func (ls labelStore) Put(i int32) (*sparse.Label, bool) {
+	if ls.slab != nil {
+		return ls.slab.Put(i)
+	}
+	return ls.m.Put(i)
+}
+
+func (ls labelStore) Len() int {
+	if ls.slab != nil {
+		return ls.slab.Len()
+	}
+	if ls.m != nil {
+		return ls.m.Len()
+	}
+	return 0
+}
+
+// compQueue is a component's search queue: a dial (bucket) queue under
+// Options.DialQueue, the lazy binary heap otherwise (the default; the
+// golden digests pin its results). Both pop the exact minimum key; only
+// the tie order among bitwise-equal keys differs, so the dial produces
+// equally valid but not bit-identical routes.
+type compQueue struct {
+	useDial bool
+	lazy    heaps.Lazy[entry]
+	dial    heaps.Dial[entry]
+}
+
+// Reset empties the queue and selects the backend; width is the dial
+// bucket width (one typical arc cost under the component's metric).
+func (q *compQueue) Reset(useDial bool, width float64) {
+	q.useDial = useDial
+	if useDial {
+		q.dial.Reset(width)
+	} else {
+		q.lazy.Reset()
+	}
+}
+
+// Clear empties the queue, keeping the backend and width.
+func (q *compQueue) Clear() {
+	q.lazy.Reset()
+	q.dial.Clear()
+}
+
+func (q *compQueue) Len() int {
+	if q.useDial {
+		return q.dial.Len()
+	}
+	return q.lazy.Len()
+}
+
+func (q *compQueue) Push(key float64, e entry) {
+	if q.useDial {
+		q.dial.Push(key, e)
+	} else {
+		q.lazy.Push(key, e)
+	}
+}
+
+func (q *compQueue) Peek() (float64, entry) {
+	if q.useDial {
+		return q.dial.Peek()
+	}
+	return q.lazy.Peek()
+}
+
+func (q *compQueue) Pop() (float64, entry) {
+	if q.useDial {
+		return q.dial.Pop()
+	}
+	return q.lazy.Pop()
+}
+
+func (q *compQueue) MinKey() float64 {
+	if q.useDial {
+		return q.dial.MinKey()
+	}
+	return q.lazy.MinKey()
+}

@@ -1,0 +1,300 @@
+package heaps
+
+import "math"
+
+// dialRing is the number of direct-mapped buckets. Keys within
+// dialRing×width of the queue's base land in a bucket; keys further out
+// go to an overflow slice that is redistributed when the ring drains.
+// Dijkstra frontiers under the routing metric span only a few arc costs,
+// so with width ≈ one arc the ring absorbs essentially every push.
+const dialRing = 512
+
+type dialItem[T any] struct {
+	key float64
+	val T
+}
+
+// Dial is a monotone bucket ("dial") queue: a calendar of dialRing
+// buckets of width `width`, plus an overflow area for keys beyond the
+// calendar and an underflow area for keys below it (both rare). Pop
+// returns an entry with the exact minimum key — the current bucket is
+// scanned, not approximated — so Dial is a drop-in replacement for a
+// binary heap in Dijkstra-style searches whose keys cluster within a
+// bounded range of the minimum: pushes and pops become O(1) amortized
+// instead of O(log n).
+//
+// Grid searches under uniform costs produce huge classes of bitwise-
+// equal keys (every frontier vertex at the same Manhattan distance), so
+// a naive scan-per-pop degenerates to O(class size) per pop. The scan
+// therefore partitions every entry holding the bucket's minimum key to
+// the bucket tail in one pass; while that min-run lasts, pops take the
+// tail entry in O(1) — popping any member of an equal-key class is still
+// an exact-minimum pop. The bucket is rescanned only when the run is
+// exhausted, i.e. once per distinct key value, not once per entry.
+//
+// All scan and partition orders are deterministic functions of the
+// push/pop history, which the bit-reproducible solver relies on. The
+// tie order among equal keys is the Dial's own — it differs from a
+// binary heap's, so a solver that swaps its heap for a Dial keeps
+// determinism but may pick different (equally optimal) entries on ties.
+//
+// The zero value is not ready: call Reset(width) first.
+type Dial[T any] struct {
+	width   float64
+	inv     float64
+	base    int64 // bucket id of buckets[0]
+	cur     int   // first possibly non-empty ring slot
+	hi      int   // highest ring slot touched since Reset
+	n       int
+	started bool
+
+	buckets [][]dialItem[T]
+	under   []dialItem[T] // keys below base×width (after a late low push)
+	over    []dialItem[T] // keys beyond the ring
+
+	// Cached minimum location; minValid=false forces a rescan. With
+	// minWhere==0 the min-run invariant holds: the last minRun entries
+	// of buckets[minSlot] all carry minKey, and minIdx is the tail.
+	minValid bool
+	minWhere int8 // 0 = ring, 1 = under, 2 = over
+	minSlot  int
+	minIdx   int
+	minRun   int
+	minKey   float64
+}
+
+// Reset empties the queue, retaining capacity, and sets the bucket
+// width. Keys must be non-negative; the width only affects speed (how
+// keys spread over buckets), never which entry Pop returns.
+func (d *Dial[T]) Reset(width float64) {
+	if !(width > 0) || math.IsInf(width, 1) {
+		width = 1
+	}
+	d.width = width
+	d.inv = 1 / width
+	if d.buckets != nil {
+		for i := d.cur; i <= d.hi; i++ {
+			d.buckets[i] = d.buckets[i][:0]
+		}
+	}
+	d.under = d.under[:0]
+	d.over = d.over[:0]
+	d.n = 0
+	d.cur, d.hi = 0, 0
+	d.started = false
+	d.minValid = false
+}
+
+// Clear empties the queue, retaining capacity and the current width.
+func (d *Dial[T]) Clear() { d.Reset(d.width) }
+
+// Len returns the number of stored entries.
+func (d *Dial[T]) Len() int { return d.n }
+
+// Push inserts value v with the given key.
+func (d *Dial[T]) Push(key float64, v T) {
+	if d.buckets == nil {
+		d.buckets = make([][]dialItem[T], dialRing)
+	}
+	id := int64(key * d.inv)
+	if !d.started {
+		d.base = id
+		d.cur, d.hi = 0, 0
+		d.started = true
+	}
+	it := dialItem[T]{key: key, val: v}
+	slot := int(id - d.base)
+	switch {
+	case slot < 0:
+		if d.minValid && key < d.minKey {
+			d.minWhere, d.minIdx, d.minKey = 1, len(d.under), key
+		}
+		d.under = append(d.under, it)
+	case slot >= dialRing:
+		if d.minValid && key < d.minKey {
+			d.minWhere, d.minIdx, d.minKey = 2, len(d.over), key
+		}
+		d.over = append(d.over, it)
+	default:
+		b := append(d.buckets[slot], it)
+		if d.minValid {
+			switch {
+			case key < d.minKey:
+				// New strict minimum: a fresh run of one at the tail.
+				d.minWhere, d.minSlot, d.minKey = 0, slot, key
+				d.minIdx, d.minRun = len(b)-1, 1
+			case d.minWhere == 0 && slot == d.minSlot:
+				if key == d.minKey {
+					// Equal keys share a bucket, so the append extends
+					// the tail run.
+					d.minIdx, d.minRun = len(b)-1, d.minRun+1
+				} else {
+					// A larger key landed behind the run: swap it with
+					// the run's head so the run stays at the tail.
+					j := len(b) - 1 - d.minRun
+					b[j], b[len(b)-1] = b[len(b)-1], b[j]
+					d.minIdx = len(b) - 1
+				}
+			}
+		}
+		d.buckets[slot] = b
+		if slot < d.cur {
+			d.cur = slot
+		}
+		if slot > d.hi {
+			d.hi = slot
+		}
+	}
+	d.n++
+}
+
+// MinKey returns the smallest key. It panics if the queue is empty;
+// guard with Len.
+func (d *Dial[T]) MinKey() float64 {
+	d.ensureMin()
+	return d.minKey
+}
+
+// Peek returns the entry Pop would remove, without removing it. It
+// panics if the queue is empty; guard with Len.
+func (d *Dial[T]) Peek() (float64, T) {
+	d.ensureMin()
+	switch d.minWhere {
+	case 1:
+		return d.minKey, d.under[d.minIdx].val
+	case 2:
+		return d.minKey, d.over[d.minIdx].val
+	}
+	return d.minKey, d.buckets[d.minSlot][d.minIdx].val
+}
+
+// Pop removes and returns an entry with the smallest key. Among equal
+// keys the choice is deterministic. It panics if the queue is empty;
+// guard with Len.
+func (d *Dial[T]) Pop() (float64, T) {
+	d.ensureMin()
+	var it dialItem[T]
+	switch d.minWhere {
+	case 1:
+		last := len(d.under) - 1
+		it = d.under[d.minIdx]
+		d.under[d.minIdx] = d.under[last]
+		d.under = d.under[:last]
+		d.minValid = false
+	case 2:
+		last := len(d.over) - 1
+		it = d.over[d.minIdx]
+		d.over[d.minIdx] = d.over[last]
+		d.over = d.over[:last]
+		d.minValid = false
+	default:
+		// The min-run sits at the bucket tail; take the tail and keep
+		// the cache alive while the run lasts.
+		b := d.buckets[d.minSlot]
+		last := len(b) - 1
+		it = b[last]
+		d.buckets[d.minSlot] = b[:last]
+		if d.minRun > 1 {
+			d.minRun--
+			d.minIdx = last - 1
+		} else {
+			d.minValid = false
+		}
+	}
+	d.n--
+	return it.key, it.val
+}
+
+// ensureMin locates the minimum entry. Underflow keys are strictly below
+// every ring key and ring keys strictly below every overflow key (the
+// bucket id is monotone in the key, so the regions partition the key
+// axis), so the first non-empty region in under → ring → over order
+// holds the minimum.
+func (d *Dial[T]) ensureMin() {
+	if d.minValid {
+		return
+	}
+	if d.n == 0 {
+		panic("heaps: Dial is empty")
+	}
+	if len(d.under) > 0 {
+		best := 0
+		for i := 1; i < len(d.under); i++ {
+			if d.under[i].key < d.under[best].key {
+				best = i
+			}
+		}
+		d.minWhere, d.minIdx, d.minKey = 1, best, d.under[best].key
+		d.minValid = true
+		return
+	}
+	for {
+		for d.cur < dialRing && len(d.buckets[d.cur]) == 0 {
+			d.cur++
+		}
+		if d.cur < dialRing {
+			b := d.buckets[d.cur]
+			minKey := b[0].key
+			for i := 1; i < len(b); i++ {
+				if b[i].key < minKey {
+					minKey = b[i].key
+				}
+			}
+			// Partition every minimum-key entry to the tail: pops then
+			// drain the run in O(1) each, and the bucket is rescanned
+			// once per distinct key value instead of once per entry.
+			i, j := 0, len(b)-1
+			for i < j {
+				if b[i].key != minKey {
+					i++
+					continue
+				}
+				if b[j].key == minKey {
+					j--
+					continue
+				}
+				b[i], b[j] = b[j], b[i]
+				i++
+				j--
+			}
+			run := 0
+			for k := len(b) - 1; k >= 0 && b[k].key == minKey; k-- {
+				run++
+			}
+			d.minWhere, d.minSlot, d.minKey = 0, d.cur, minKey
+			d.minIdx, d.minRun = len(b)-1, run
+			d.minValid = true
+			return
+		}
+		// Ring drained: rebase the calendar onto the overflow area.
+		d.rebase()
+	}
+}
+
+// rebase advances the calendar to the smallest overflow bucket and moves
+// every overflow item within ring reach into its bucket. Each item moves
+// O(1) times per Reset epoch (the base only grows), keeping pushes and
+// pops amortized O(1).
+func (d *Dial[T]) rebase() {
+	minID := int64(math.MaxInt64)
+	for i := range d.over {
+		if id := int64(d.over[i].key * d.inv); id < minID {
+			minID = id
+		}
+	}
+	d.base = minID
+	d.cur, d.hi = 0, 0
+	rest := d.over[:0]
+	for _, it := range d.over {
+		slot := int(int64(it.key*d.inv) - d.base)
+		if slot < dialRing {
+			d.buckets[slot] = append(d.buckets[slot], it)
+			if slot > d.hi {
+				d.hi = slot
+			}
+		} else {
+			rest = append(rest, it)
+		}
+	}
+	d.over = rest
+}

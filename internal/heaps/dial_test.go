@@ -1,0 +1,160 @@
+package heaps
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+)
+
+// TestDialSortedDrain pushes shuffled keys and checks a full drain comes
+// out sorted with every key intact.
+func TestDialSortedDrain(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for _, width := range []float64{0.1, 1, 3.7, 100} {
+		var d Dial[int]
+		d.Reset(width)
+		want := make([]float64, 0, 500)
+		for i := 0; i < 500; i++ {
+			k := rng.Float64() * 200
+			d.Push(k, i)
+			want = append(want, k)
+		}
+		sort.Float64s(want)
+		for i, w := range want {
+			if d.Len() != len(want)-i {
+				t.Fatalf("width %v: Len=%d want %d", width, d.Len(), len(want)-i)
+			}
+			if mk := d.MinKey(); mk != w {
+				t.Fatalf("width %v pop %d: MinKey=%v want %v", width, i, mk, w)
+			}
+			k, _ := d.Pop()
+			if k != w {
+				t.Fatalf("width %v pop %d: key=%v want %v", width, i, k, w)
+			}
+		}
+		if d.Len() != 0 {
+			t.Fatalf("width %v: residue %d", width, d.Len())
+		}
+	}
+}
+
+// TestDialVsLazy drives a Dial and a Lazy with an identical random
+// push/pop interleaving — the Dijkstra access pattern, monotone-ish keys
+// with occasional low re-pushes — and checks every popped key matches.
+// Values may differ on exact key ties (the structures order ties
+// differently); keys may not.
+func TestDialVsLazy(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 9))
+	for trial := 0; trial < 50; trial++ {
+		var d Dial[int]
+		var l Lazy[int]
+		d.Reset(1 + rng.Float64()*5)
+		floor := 0.0
+		for op := 0; op < 2000; op++ {
+			if d.Len() != l.Len() {
+				t.Fatalf("trial %d op %d: Len %d vs %d", trial, op, d.Len(), l.Len())
+			}
+			if d.Len() == 0 || rng.Float64() < 0.6 {
+				// Dijkstra-style: keys mostly a bit above the current
+				// minimum, sometimes far above (via/congested arcs),
+				// rarely slightly below (corrected re-push).
+				k := floor + rng.Float64()*50
+				if rng.Float64() < 0.05 {
+					k = floor + rng.Float64()*5000 // deep overflow
+				}
+				if rng.Float64() < 0.05 && floor > 1 {
+					k = floor - rng.Float64() // underflow after pops
+				}
+				if k < 0 {
+					k = 0
+				}
+				d.Push(k, op)
+				l.Push(k, op)
+				continue
+			}
+			dk, _ := d.Pop()
+			lk, _ := l.Pop()
+			if dk != lk {
+				t.Fatalf("trial %d op %d: popped %v vs lazy %v", trial, op, dk, lk)
+			}
+			if dk > floor {
+				floor = dk
+			}
+		}
+	}
+}
+
+// TestDialRebase forces the ring to drain into a far overflow region and
+// checks the calendar rebases without losing order.
+func TestDialRebase(t *testing.T) {
+	var d Dial[int]
+	d.Reset(1)
+	// One item in the ring, many far beyond it.
+	d.Push(3, 0)
+	want := []float64{3}
+	for i := 0; i < 100; i++ {
+		k := float64(10*dialRing + i%7)
+		d.Push(k, i)
+		want = append(want, k)
+	}
+	sort.Float64s(want)
+	for i, w := range want {
+		k, _ := d.Pop()
+		if k != w {
+			t.Fatalf("pop %d: key=%v want %v", i, k, w)
+		}
+	}
+}
+
+// TestDialReuse checks Reset fully clears state for arena-style reuse,
+// including after a rebase moved the calendar far from zero.
+func TestDialReuse(t *testing.T) {
+	var d Dial[int]
+	d.Reset(2)
+	for i := 0; i < 64; i++ {
+		d.Push(float64(i*100), i)
+	}
+	for d.Len() > 0 {
+		d.Pop()
+	}
+	d.Reset(0.5)
+	d.Push(1.25, 1)
+	d.Push(0.25, 2)
+	if k, v := d.Pop(); k != 0.25 || v != 2 {
+		t.Fatalf("after reuse: got (%v,%d)", k, v)
+	}
+	if k, v := d.Pop(); k != 1.25 || v != 1 {
+		t.Fatalf("after reuse: got (%v,%d)", k, v)
+	}
+	if d.Len() != 0 {
+		t.Fatalf("residue after reuse")
+	}
+}
+
+// TestDialTieDeterminism re-runs an identical tie-heavy sequence and
+// checks pops return identical values, not just identical keys.
+func TestDialTieDeterminism(t *testing.T) {
+	run := func() []int {
+		var d Dial[int]
+		d.Reset(1)
+		out := []int{}
+		for i := 0; i < 200; i++ {
+			d.Push(float64(i%3), i)
+			if i%4 == 3 {
+				_, v := d.Pop()
+				out = append(out, v)
+			}
+		}
+		for d.Len() > 0 {
+			_, v := d.Pop()
+			out = append(out, v)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("tie order not deterministic at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}

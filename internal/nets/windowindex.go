@@ -14,11 +14,11 @@ const windowFanout = 8
 
 // WindowIndex is a static, bulk-loaded R-tree over plane rectangles,
 // packed with Sort-Tile-Recursive (STR). The incremental router packs
-// one per wave over the per-net invalidation regions — cached tree
-// bounding boxes move as nets are re-solved, so the index cannot be
-// reused across waves — and queries it with the wave's changed
-// congestion regions to find the rip-up candidates. Construction and
-// query order are deterministic.
+// one over the per-net invalidation regions and queries it with each
+// wave's changed congestion regions to find the rip-up candidates;
+// since Build copies the rectangles, the router reuses the index across
+// waves until some region actually moves. Construction and query order
+// are deterministic.
 type WindowIndex struct {
 	rects []geom.Rect // entry rects in packed order
 	ids   []int32     // caller ids parallel to rects

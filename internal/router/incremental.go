@@ -2,6 +2,7 @@ package router
 
 import (
 	"math"
+	"sync/atomic"
 
 	"costdist/internal/chipgen"
 	"costdist/internal/cong"
@@ -81,6 +82,38 @@ type incState struct {
 	// diff (RouteFrom); the checkpoint's prices are the clean baseline,
 	// so pre-checkpoint residue must not re-dirty restored nets.
 	seed []bool
+
+	// pending holds the delta-tracker result of the fused end-of-wave
+	// price update (Pricer.UpdateTracked): the next computeDirty consumes
+	// it instead of sweeping every segment again. Nil when no update ran
+	// since the last pass (wave 0, or after a quiesced warm wave), in
+	// which case computeDirty falls back to the tracker sweep.
+	pending   bool
+	pendRects []geom.Rect
+	pendSegs  int
+	// ix is the region R-tree of the last computeDirty pass, reused
+	// across waves until some net's candidate region actually moves
+	// (ixDirty; set by solver workers, hence atomic). Late waves re-solve
+	// few nets and most re-solves keep their bounding box, so the
+	// O(n log n) rebuild disappears from the steady state.
+	ix      *nets.WindowIndex
+	ixDirty atomic.Bool
+
+	// steps[ni] caches net ni's embedded tree decomposed into flat
+	// per-step arrays — segment id, congestion base cost, capacity
+	// consumed — in tree step order. Repricing a candidate tree and
+	// replaying a clean net's usage become tight array loops instead of
+	// walks that re-derive both quantities from each grid.Arc; the
+	// accumulation order is the step order either way, so the floating-
+	// point results are bitwise unchanged.
+	steps []netSteps
+}
+
+// netSteps is one cached tree's flat step decomposition.
+type netSteps struct {
+	segs   []int32
+	base   []float64 // ArcCost(step) = Mult[segs[i]] * base[i]
+	capUse []float32 // Usage.AddArc adds capUse[i] to segs[i]
 }
 
 // newIncState builds the scheduler for one chip.
@@ -107,6 +140,7 @@ func newIncState(chip *chipgen.Chip, drv *driver, opt Options) *incState {
 		lastOracle: make([]int16, len(nl.Nets)),
 		cand:       make([]bool, len(nl.Nets)),
 		dirty:      make([]bool, len(nl.Nets)),
+		steps:      make([]netSteps, len(nl.Nets)),
 	}
 	for i := range s.lastOracle {
 		s.lastOracle[i] = -1
@@ -135,8 +169,12 @@ func (s *incState) drifted(cur, snap float64) bool {
 
 // computeDirty returns the ordered work list of dirty nets for the next
 // wave and the number of congestion segments that changed beyond
-// tolerance (the wave's delta volume). Rebuilding the region index every
-// wave is O(n log n) — noise next to a single oracle solve.
+// tolerance (the wave's delta volume). The delta normally arrives
+// pre-computed from the previous wave's fused price update (stashDelta);
+// the tracker sweep here is the fallback for wave 0 and for waves after
+// a quiesce. The region index is rebuilt only when some net's candidate
+// region actually moved since the last build — re-solves that keep
+// their bounding box, and waves that skip everything, reuse it.
 func (s *incState) computeDirty(costs *grid.Costs, trees []*nets.RTree, weights, budgets [][]float64) (work []int32, deltaSegs int) {
 	for i := range s.dirty {
 		s.cand[i] = false
@@ -154,11 +192,20 @@ func (s *incState) computeDirty(costs *grid.Costs, trees []*nets.RTree, weights,
 		s.seed = nil
 		return work, 0
 	}
-	rects, deltaSegs := s.tracker.Update(costs.Mult)
+	var rects []geom.Rect
+	if s.pending {
+		rects, deltaSegs = s.pendRects, s.pendSegs
+		s.pending = false
+		s.pendRects = nil
+	} else {
+		rects, deltaSegs = s.tracker.Update(costs.Mult)
+	}
 	if len(rects) > 0 {
-		ix := nets.BuildWindowIndex(s.regions)
+		if s.ixDirty.Swap(false) || s.ix == nil {
+			s.ix = nets.BuildWindowIndex(s.regions)
+		}
 		for _, r := range rects {
-			ix.Query(r, func(ni int32) { s.cand[ni] = true })
+			s.ix.Query(r, func(ni int32) { s.cand[ni] = true })
 		}
 	}
 	for ni := range s.dirty {
@@ -168,10 +215,13 @@ func (s *incState) computeDirty(costs *grid.Costs, trees []*nets.RTree, weights,
 			continue
 		}
 		if s.cand[ni] {
-			// Reprice the cached tree under the current multipliers.
+			// Reprice the cached tree under the current multipliers: the
+			// flat step cache yields the same sum, in the same order, as
+			// walking the tree through costs.ArcCost.
+			sc := &s.steps[ni]
 			cur := 0.0
-			for _, st := range trees[ni].Steps {
-				cur += costs.ArcCost(st.Arc)
+			for i, seg := range sc.segs {
+				cur += float64(costs.Mult[seg]) * sc.base[i]
 			}
 			if s.drifted(cur, s.lastCost[ni]) {
 				s.dirty[ni] = true
@@ -236,9 +286,69 @@ func (s *incState) noteSolved(ni int, w, b []float64, tr *nets.RTree, congCost f
 	}
 	s.lastCost[ni] = congCost
 	s.lastOracle[ni] = int16(oracleIdx)
-	if r := tr.BBox(s.g); !r.Empty() {
-		s.regions[ni] = r.Expand(incHalo, s.g.NX, s.g.NY)
+	s.setRegion(ni, tr)
+	s.buildSteps(ni, tr)
+}
+
+// setRegion updates net ni's candidate region from its new tree and
+// flags the region index stale when the region actually moved. Workers
+// call this for disjoint nets; the shared staleness flag is atomic.
+func (s *incState) setRegion(ni int, tr *nets.RTree) {
+	r := tr.BBox(s.g)
+	if r.Empty() {
+		return
 	}
+	nr := r.Expand(incHalo, s.g.NX, s.g.NY)
+	if nr != s.regions[ni] {
+		s.regions[ni] = nr
+		s.ixDirty.Store(true)
+	}
+}
+
+// buildSteps (re)derives net ni's flat step cache from its tree.
+func (s *incState) buildSteps(ni int, tr *nets.RTree) {
+	sc := &s.steps[ni]
+	sc.segs = sc.segs[:0]
+	sc.base = sc.base[:0]
+	sc.capUse = sc.capUse[:0]
+	for _, st := range tr.Steps {
+		a := st.Arc
+		var base float64
+		if a.Via {
+			base = s.g.Layers[a.L].ViaCost
+		} else {
+			base = s.g.Layers[a.L].Wires[a.WT].CostPerGCell
+		}
+		sc.segs = append(sc.segs, a.Seg)
+		sc.base = append(sc.base, base)
+		sc.capUse = append(sc.capUse, s.g.ArcCapUse(a))
+	}
+}
+
+// replayUsage accumulates the capacity consumption of every cached tree
+// into u, in net order then step order — the same float32 additions, in
+// the same order, as walking each tree through Usage.AddArc.
+func (s *incState) replayUsage(u *cong.Usage, trees []*nets.RTree) {
+	for ni, tr := range trees {
+		if tr == nil {
+			continue
+		}
+		sc := &s.steps[ni]
+		if len(sc.segs) != len(tr.Steps) {
+			s.buildSteps(ni, tr)
+		}
+		for i, seg := range sc.segs {
+			u.U[seg] += sc.capUse[i]
+		}
+	}
+}
+
+// stashDelta hands computeDirty the changed-region result of the fused
+// end-of-wave price update, so the next wave skips its tracker sweep.
+func (s *incState) stashDelta(rects []geom.Rect, segs int) {
+	s.pending = true
+	s.pendRects = rects
+	s.pendSegs = segs
 }
 
 // restoreNet seeds net ni's scheduler state from a checkpoint: the
@@ -250,9 +360,8 @@ func (s *incState) restoreNet(ni int, w, b []float64, lastCost float64, oracleId
 	s.lastB[ni] = append(s.lastB[ni][:0], b...)
 	s.lastCost[ni] = lastCost
 	s.lastOracle[ni] = int16(oracleIdx)
-	if r := tr.BBox(s.g); !r.Empty() {
-		s.regions[ni] = r.Expand(incHalo, s.g.NX, s.g.NY)
-	}
+	s.setRegion(ni, tr)
+	s.buildSteps(ni, tr)
 }
 
 // seedDirty arms the seeded-wave mode: the next computeDirty call

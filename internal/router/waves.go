@@ -280,16 +280,10 @@ func (r *runState) runWaves() error {
 			// Skipped nets keep their cached tree but still occupy their
 			// tracks: rebuild usage from every tree, cached or fresh, in
 			// net order — deterministic regardless of worker count or of
-			// which nets were skipped.
+			// which nets were skipped. The scheduler's flat step caches
+			// replay each tree without re-deriving per-arc capacities.
 			r.usage = cong.NewUsage(g)
-			for _, tr := range r.trees {
-				if tr == nil {
-					continue
-				}
-				for _, st := range tr.Steps {
-					r.usage.AddArc(st.Arc)
-				}
-			}
+			r.inc.replayUsage(r.usage, r.trees)
 		}
 		r.res.Metrics.NetsSolved += int64(nWork)
 		r.res.Metrics.NetsSkipped += int64(nNets - nWork)
@@ -314,8 +308,17 @@ func (r *runState) runWaves() error {
 		// Lagrangean updates: congestion prices, delay weights and the
 		// globally optimized per-sink delay budgets (routed delay plus
 		// the slack the endpoint can still afford) consumed by the
-		// shallow-light baseline, per ref [13].
-		r.pricer.Update(r.usage)
+		// shallow-light baseline, per ref [13]. When another incremental
+		// wave follows, the price update and the delta tracker's drift
+		// sweep fuse into one pass and the result is stashed for that
+		// wave's computeDirty; the last wave prices plainly, leaving the
+		// tracker exactly as the unfused engine would.
+		if r.inc != nil && wave+1 < opt.Waves {
+			rects, segs := r.pricer.UpdateTracked(r.inc.tracker, r.usage)
+			r.inc.stashDelta(rects, segs)
+		} else {
+			r.pricer.Update(r.usage)
+		}
 		timing := sta.Analyze(nl, func(n, k int) float64 { return r.delays[n][k] }, chip.ClkPeriod)
 		for ni := range nl.Nets {
 			if r.budgets[ni] == nil {

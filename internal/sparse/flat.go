@@ -1,0 +1,129 @@
+package sparse
+
+// LabelSlab is a dense Label store over a bounded index universe
+// [0, n), the flat-array counterpart of Map: Get/Put are a single
+// bounds-checked array access instead of a hash probe chain. Presence is
+// tracked by a per-slot generation stamp, so Reset is O(1) and a slab
+// recycled through an arena (core.Scratch) never re-touches memory it
+// does not use. The solver keys slabs by dense routing-window indices;
+// windows small enough for the O(n) footprint use a slab, larger ones
+// fall back to Map.
+//
+// The zero value is empty; call Reset(n) before use.
+type LabelSlab struct {
+	e   []slabEntry
+	gen uint32
+	n   int
+}
+
+type slabEntry struct {
+	lab Label
+	gen uint32
+}
+
+// Reset clears the slab in O(1) and (re)sizes the universe to n slots.
+func (s *LabelSlab) Reset(n int) {
+	if cap(s.e) < n {
+		s.e = make([]slabEntry, n)
+	} else {
+		s.e = s.e[:n]
+	}
+	s.gen++
+	if s.gen == 0 {
+		// Stamp wrapped: old stamps would read as live; pay one clear.
+		for i := range s.e {
+			s.e[i].gen = 0
+		}
+		s.gen = 1
+	}
+	s.n = 0
+}
+
+// Len returns the number of live labels.
+func (s *LabelSlab) Len() int { return s.n }
+
+// Get returns a pointer to the label at index i, or nil if absent.
+func (s *LabelSlab) Get(i int32) *Label {
+	e := &s.e[i]
+	if e.gen != s.gen {
+		return nil
+	}
+	return &e.lab
+}
+
+// Put returns a pointer to the label slot at index i, inserting a zero
+// label if absent. The second result reports whether it already existed.
+func (s *LabelSlab) Put(i int32) (*Label, bool) {
+	e := &s.e[i]
+	if e.gen != s.gen {
+		e.gen = s.gen
+		e.lab = Label{}
+		s.n++
+		return &e.lab, false
+	}
+	return &e.lab, true
+}
+
+// FlatI32 is a dense int32 store over a bounded index universe — the
+// flat-array counterpart of I32Map, with the same generation-stamped
+// O(1) Reset. The solver uses it for vertex-ownership stamps when the
+// graph is small enough for a per-arena array over all vertices.
+//
+// The zero value is empty; call Reset(n) before use.
+type FlatI32 struct {
+	val []int32
+	gen []uint32
+	cur uint32
+	n   int
+}
+
+// Reset clears the store in O(1) and (re)sizes the universe to n slots.
+func (m *FlatI32) Reset(n int) {
+	if cap(m.val) < n {
+		m.val = make([]int32, n)
+		m.gen = make([]uint32, n)
+	} else {
+		m.val = m.val[:n]
+		m.gen = m.gen[:n]
+	}
+	m.cur++
+	if m.cur == 0 {
+		for i := range m.gen {
+			m.gen[i] = 0
+		}
+		m.cur = 1
+	}
+	m.n = 0
+}
+
+// Len returns the number of stored keys.
+func (m *FlatI32) Len() int { return m.n }
+
+// Get returns the value stored at index i and whether it is present.
+func (m *FlatI32) Get(i int32) (int32, bool) {
+	if m.gen[i] != m.cur {
+		return 0, false
+	}
+	return m.val[i], true
+}
+
+// Put stores val at index i, overwriting any previous value.
+func (m *FlatI32) Put(i, val int32) {
+	if m.gen[i] != m.cur {
+		m.gen[i] = m.cur
+		m.n++
+	}
+	m.val[i] = val
+}
+
+// PutIfAbsent stores val at index i unless present; it reports whether
+// the value was stored.
+func (m *FlatI32) PutIfAbsent(i, val int32) bool {
+	if m.gen[i] == m.cur {
+		return false
+	}
+	m.gen[i] = m.cur
+	m.val[i] = val
+	m.n++
+	return true
+}

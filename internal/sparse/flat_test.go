@@ -1,0 +1,109 @@
+package sparse
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// TestLabelSlabVsMap drives a LabelSlab and a Map with identical random
+// operation sequences over a small key universe and compares every
+// observable result.
+func TestLabelSlabVsMap(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 5))
+	var slab LabelSlab
+	for epoch := 0; epoch < 20; epoch++ {
+		n := 16 + rng.IntN(200)
+		slab.Reset(n)
+		m := NewMap(8)
+		for op := 0; op < 500; op++ {
+			k := int32(rng.IntN(n))
+			if rng.Float64() < 0.5 {
+				sl := slab.Get(k)
+				ml := m.Get(k)
+				if (sl == nil) != (ml == nil) {
+					t.Fatalf("epoch %d: Get(%d) presence %v vs %v", epoch, k, sl != nil, ml != nil)
+				}
+				if sl != nil && *sl != *ml {
+					t.Fatalf("epoch %d: Get(%d) %+v vs %+v", epoch, k, *sl, *ml)
+				}
+				continue
+			}
+			sl, sExisted := slab.Put(k)
+			ml, mExisted := m.Put(k)
+			if sExisted != mExisted {
+				t.Fatalf("epoch %d: Put(%d) existed %v vs %v", epoch, k, sExisted, mExisted)
+			}
+			if *sl != *ml {
+				t.Fatalf("epoch %d: Put(%d) %+v vs %+v", epoch, k, *sl, *ml)
+			}
+			lab := Label{Dist: rng.Float64(), Prev: int32(rng.IntN(n)), Arc: uint8(rng.IntN(4)), Perm: rng.Float64() < 0.3}
+			*sl = lab
+			*ml = lab
+			if slab.Len() != m.Len() {
+				t.Fatalf("epoch %d: Len %d vs %d", epoch, slab.Len(), m.Len())
+			}
+		}
+	}
+}
+
+// TestLabelSlabResetIsolation checks labels from one epoch never leak
+// into the next, including across a shrink+grow of the universe.
+func TestLabelSlabResetIsolation(t *testing.T) {
+	var s LabelSlab
+	s.Reset(100)
+	for i := int32(0); i < 100; i++ {
+		l, _ := s.Put(i)
+		l.Dist = float64(i)
+	}
+	s.Reset(10)
+	for i := int32(0); i < 10; i++ {
+		if s.Get(i) != nil {
+			t.Fatalf("leak at %d after shrink reset", i)
+		}
+	}
+	s.Reset(150)
+	if s.Len() != 0 {
+		t.Fatalf("Len=%d after grow reset", s.Len())
+	}
+	for i := int32(0); i < 150; i++ {
+		if s.Get(i) != nil {
+			t.Fatalf("leak at %d after grow reset", i)
+		}
+	}
+}
+
+// TestFlatI32VsI32Map drives a FlatI32 and an I32Map with identical
+// random operations and compares every result.
+func TestFlatI32VsI32Map(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 13))
+	var flat FlatI32
+	for epoch := 0; epoch < 20; epoch++ {
+		n := 16 + rng.IntN(300)
+		flat.Reset(n)
+		var m I32Map
+		m.Reset()
+		for op := 0; op < 600; op++ {
+			k := int32(rng.IntN(n))
+			switch rng.IntN(3) {
+			case 0:
+				fv, fok := flat.Get(k)
+				mv, mok := m.Get(k)
+				if fok != mok || (fok && fv != mv) {
+					t.Fatalf("epoch %d: Get(%d) (%d,%v) vs (%d,%v)", epoch, k, fv, fok, mv, mok)
+				}
+			case 1:
+				v := int32(rng.IntN(1000))
+				flat.Put(k, v)
+				m.Put(k, v)
+			default:
+				v := int32(rng.IntN(1000))
+				if got, want := flat.PutIfAbsent(k, v), m.PutIfAbsent(k, v); got != want {
+					t.Fatalf("epoch %d: PutIfAbsent(%d) %v vs %v", epoch, k, got, want)
+				}
+			}
+			if flat.Len() != m.Len() {
+				t.Fatalf("epoch %d: Len %d vs %d", epoch, flat.Len(), m.Len())
+			}
+		}
+	}
+}
