@@ -2,7 +2,10 @@
 // rerouting through the service: it routes a chip, resubmits the same
 // chip with a small ECO perturbation warm-started from the first job
 // (base_job), and asserts the warm run actually reused cached work
-// (NetsSkipped > 0) at fewer oracle solves than the cold run.
+// (NetsSkipped > 0) at fewer oracle solves than the cold run, and —
+// with the repair rung enabled (-repairtol ≥ 0, the default) — that
+// the topology-repair tier absorbed at least one dirty net
+// (NetsRepaired > 0).
 //
 // By default it spins an in-process server (no network setup needed —
 // this is what the CI smoke step runs); -url points it at an external
@@ -10,7 +13,7 @@
 //
 // Usage:
 //
-//	ecoperturb [-chip c1] [-scale 0.02] [-waves 2] [-frac 0.05] [-seed 9] [-url http://host:8423]
+//	ecoperturb [-chip c1] [-scale 0.02] [-waves 2] [-frac 0.05] [-seed 9] [-repairtol 0.25] [-url http://host:8423]
 //
 // Exit status: 0 on success, 1 when the warm-start assertion fails or
 // a request errors, 2 on bad flags.
@@ -45,6 +48,7 @@ func main() {
 	waves := flag.Int("waves", 2, "rip-up-and-reroute waves")
 	frac := flag.Float64("frac", 0.05, "fraction of nets to perturb (at least one net)")
 	seed := flag.Uint64("seed", 9, "perturbation seed")
+	repairTol := flag.Float64("repairtol", 0.25, "repair_tol of the warm request (< 0 disables the repair rung and its assertion)")
 	timeout := flag.Duration("timeout", 3*time.Minute, "per-job poll deadline")
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -85,6 +89,9 @@ func main() {
 
 	warmReq := fmt.Sprintf(`{"chip":%q,"scale":%g,"waves":%d,"base_job":%q,"perturb_frac":%g,"perturb_seed":%d}`,
 		*chip, *scale, *waves, coldID, *frac, *seed)
+	if *repairTol >= 0 {
+		warmReq = strings.TrimSuffix(warmReq, "}") + fmt.Sprintf(`,"repair_tol":%g}`, *repairTol)
+	}
 	warmID, err := submit(base, warmReq)
 	if err != nil {
 		cliutil.Fatal("ecoperturb", fmt.Errorf("warm submit: %w", err))
@@ -93,8 +100,9 @@ func main() {
 	if err != nil {
 		cliutil.Fatal("ecoperturb", fmt.Errorf("warm job %s: %w", warmID, err))
 	}
-	fmt.Printf("ecoperturb: warm %s done — %d solves, %d skipped, objective %.4g\n",
-		warmID, warmMetrics.NetsSolved, warmMetrics.NetsSkipped, warmMetrics.Objective)
+	fmt.Printf("ecoperturb: warm %s done — %d solves, %d skipped, %d repaired (%d escalated), objective %.4g\n",
+		warmID, warmMetrics.NetsSolved, warmMetrics.NetsSkipped,
+		warmMetrics.NetsRepaired, warmMetrics.RepairEscalated, warmMetrics.Objective)
 
 	if warmMetrics.NetsSkipped == 0 {
 		cliutil.Fatal("ecoperturb", fmt.Errorf("warm start skipped no nets — checkpoint was not reused"))
@@ -102,6 +110,9 @@ func main() {
 	if warmMetrics.NetsSolved >= coldMetrics.NetsSolved {
 		cliutil.Fatal("ecoperturb", fmt.Errorf("warm start solved %d nets, cold solved %d — no work saved",
 			warmMetrics.NetsSolved, coldMetrics.NetsSolved))
+	}
+	if *repairTol >= 0 && warmMetrics.NetsRepaired == 0 {
+		cliutil.Fatal("ecoperturb", fmt.Errorf("warm start repaired no nets — the repair rung never engaged"))
 	}
 	fmt.Printf("ecoperturb: OK — warm start reused %d net-waves (%.1f%% of cold solves avoided)\n",
 		warmMetrics.NetsSkipped,

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	grroute -chip c3 -oracle cd|rsmt|sl|pd|auto|portfolio -scale 0.01 -waves 4 [-dbif=0] [-workers 16] [-incremental]
+//	grroute -chip c3 -oracle cd|rsmt|sl|pd|auto|portfolio -scale 0.01 -waves 4 [-dbif=0] [-workers 16] [-incremental] [-repairtol 0.25]
 //	grroute -chip c1 -scale 0.05 -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
@@ -28,6 +28,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "random seed")
 	incremental := flag.Bool("incremental", false, "dirty-net scheduling: re-solve only nets invalidated by price changes after wave 0")
 	incTol := flag.Float64("inctol", 0, "incremental invalidation tolerance (relative; <0 forces every net dirty; unset: router default)")
+	repairTol := flag.Float64("repairtol", -1, "topology-repair escalation tolerance: ≥ 0 re-embeds price-dirtied nets on their cached topology before a full re-solve, < 0 disables the rung (default)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the routing run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile taken after the routing run to this file")
 	flag.Parse()
@@ -64,6 +65,9 @@ func main() {
 	if incTolSet {
 		opt.IncrementalTol = *incTol
 	}
+	// The flag default (-1) equals the router default, so unconditional
+	// assignment preserves unset semantics without a flag.Visit check.
+	opt.RepairTol = *repairTol
 
 	fmt.Printf("chip %s: %d nets, %d layers, clk %.0f ps, dbif %.3f ps\n",
 		spec.Name, spec.NNets, spec.Layers, chip.ClkPeriod, chip.DBif)
@@ -82,7 +86,11 @@ func main() {
 	if *incremental {
 		fmt.Printf("incremental: %d solved, %d skipped (%.1f%% cache hits); per wave solved %v skipped %v delta %v\n",
 			mt.NetsSolved, mt.NetsSkipped,
-			100*float64(mt.NetsSkipped)/float64(mt.NetsSolved+mt.NetsSkipped),
+			100*float64(mt.NetsSkipped)/float64(mt.NetsSolved+mt.NetsSkipped+mt.NetsRepaired),
 			mt.SolvedPerWave, mt.SkippedPerWave, mt.DeltaSegsPerWave)
+	}
+	if *repairTol >= 0 {
+		fmt.Printf("repair tier: %d repaired, %d escalated; per wave repaired %v escalated %v\n",
+			mt.NetsRepaired, mt.RepairEscalated, mt.RepairedPerWave, mt.EscalatedPerWave)
 	}
 }

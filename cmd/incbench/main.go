@@ -11,17 +11,20 @@
 //
 // With -eco it benchmarks checkpointed warm-start rerouting: route the
 // chip cold and checkpoint it, perturb a fraction of its nets
-// (ECO-style), then route the perturbed chip both cold and warm-started
-// from the checkpoint, writing BENCH_warmstart.json. The headline
-// numbers are the warm run's solve fraction and walltime speedup
-// against the cold reroute, and the warm-vs-cold objective delta on the
-// same perturbed chip.
+// (ECO-style), then route the perturbed chip cold, warm-started from
+// the checkpoint without the repair rung, and (with -repairtol ≥ 0)
+// warm-started with the topology-repair rung enabled, writing
+// BENCH_warmstart.json. The headline numbers are the repair-enabled
+// warm run's solve fraction and walltime speedup against the cold
+// reroute, the warm-vs-cold objective delta on the same perturbed chip,
+// and the share of dirty nets the repair rung absorbed instead of
+// sending to a full oracle solve.
 //
 // Usage:
 //
-//	incbench -chip c1 -scale 0.25 [-waves 4] [-workers 0] [-out BENCH_incremental.json]
+//	incbench -chip c1 -scale 0.25 [-waves 4] [-workers 0] [-repairtol 0.25] [-out BENCH_incremental.json]
 //	incbench -selection -chip c1 -scale 0.25 [-waves 4] [-out BENCH_selection.json]
-//	incbench -eco -chip c1 -scale 0.25 [-waves 4] [-perturb 0.05] [-out BENCH_warmstart.json]
+//	incbench -eco -chip c1 -scale 0.25 [-waves 4] [-perturb 0.05] [-min-repair-frac 0.25] [-out BENCH_warmstart.json]
 package main
 
 import (
@@ -52,6 +55,10 @@ type runJSON struct {
 	SolvedPerWave    []int   `json:"solved_per_wave"`
 	SkippedPerWave   []int   `json:"skipped_per_wave"`
 	DeltaSegsPerWave []int   `json:"delta_segs_per_wave"`
+	NetsRepaired     int64   `json:"nets_repaired,omitempty"`
+	RepairEscalated  int64   `json:"repair_escalated,omitempty"`
+	RepairedPerWave  []int   `json:"repaired_per_wave,omitempty"`
+	EscalatedPerWave []int   `json:"escalated_per_wave,omitempty"`
 	WalltimeMS       int64   `json:"walltime_ms"`
 }
 
@@ -70,6 +77,16 @@ type reportJSON struct {
 	SolveReduction  float64 `json:"solve_reduction_after_wave0_pct"`
 	ObjectiveDelta  float64 `json:"objective_delta_pct"`
 	WalltimeSpeedup float64 `json:"walltime_speedup"`
+
+	// The repair leg (incremental engine plus the topology-repair rung)
+	// and its deltas against the plain incremental leg; all absent when
+	// the rung is disabled (-repairtol < 0).
+	RepairTol             float64  `json:"repair_tol,omitempty"`
+	Repair                *runJSON `json:"repair,omitempty"`
+	RepairFraction        float64  `json:"repair_fraction_pct,omitempty"`
+	RepairEscalationRate  float64  `json:"repair_escalation_rate_pct,omitempty"`
+	RepairObjectiveDelta  float64  `json:"repair_objective_delta_pct,omitempty"`
+	RepairWalltimeSpeedup float64  `json:"repair_walltime_speedup,omitempty"`
 }
 
 func toRun(m costdist.RouteMetrics, incremental bool) runJSON {
@@ -80,8 +97,32 @@ func toRun(m costdist.RouteMetrics, incremental bool) runJSON {
 		NetsSolved: m.NetsSolved, NetsSkipped: m.NetsSkipped,
 		SolvedPerWave: m.SolvedPerWave, SkippedPerWave: m.SkippedPerWave,
 		DeltaSegsPerWave: m.DeltaSegsPerWave,
+		NetsRepaired:     m.NetsRepaired,
+		RepairEscalated:  m.RepairEscalated,
+		RepairedPerWave:  m.RepairedPerWave,
+		EscalatedPerWave: m.EscalatedPerWave,
 		WalltimeMS:       m.Walltime.Milliseconds(),
 	}
+}
+
+// repairFraction is the share of dirty nets the repair rung absorbed:
+// repaired / (repaired + fully solved).
+func repairFraction(m costdist.RouteMetrics) float64 {
+	dirty := m.NetsRepaired + m.NetsSolved
+	if dirty == 0 {
+		return 0
+	}
+	return float64(m.NetsRepaired) / float64(dirty)
+}
+
+// escalationRate is the share of repair attempts that fell through to a
+// full solve.
+func escalationRate(m costdist.RouteMetrics) float64 {
+	attempts := m.NetsRepaired + m.RepairEscalated
+	if attempts == 0 {
+		return 0
+	}
+	return float64(m.RepairEscalated) / float64(attempts)
 }
 
 func main() {
@@ -98,6 +139,8 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the benchmark to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	maxIncRatio := flag.Float64("max-inc-ratio", 0, "fail (exit 1) if incremental/full walltime exceeds this ratio (0 = no check); the CI smoke gate")
+	repairTol := flag.Float64("repairtol", 0.25, "topology-repair escalation tolerance of the repair legs (< 0 skips them)")
+	minRepairFrac := flag.Float64("min-repair-frac", 0, "fail (exit 1) if the repair rung absorbs less than this fraction of the repair leg's dirty nets (0 = no check); the ECO CI smoke gate")
 	flag.Parse()
 	prof := cliutil.StartProfiles("incbench", *cpuprofile, *memprofile)
 	defer prof.Stop()
@@ -140,7 +183,7 @@ func main() {
 		return
 	}
 	if *eco {
-		runECO(chip, spec, *scale, *perturb, *perturbSeed, opt, *out)
+		runECO(chip, spec, *scale, *perturb, *perturbSeed, *repairTol, *minRepairFrac, opt, *out, prof)
 		return
 	}
 
@@ -157,6 +200,18 @@ func main() {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "incbench: incremental done in %s\n", inc.Metrics.Walltime.Round(time.Millisecond))
+	var rpr *costdist.RouteResult
+	if *repairTol >= 0 {
+		optR := opt
+		optR.RepairTol = *repairTol
+		rpr, err = costdist.RouteChip(chip, costdist.CD, optR)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "incbench: repair done in %s — %d repaired, %d escalated\n",
+			rpr.Metrics.Walltime.Round(time.Millisecond),
+			rpr.Metrics.NetsRepaired, rpr.Metrics.RepairEscalated)
+	}
 
 	fullAfter0, incAfter0 := 0, 0
 	for w := 1; w < opt.Waves; w++ {
@@ -184,6 +239,16 @@ func main() {
 			full.Metrics.Objective,
 		WalltimeSpeedup: float64(full.Metrics.Walltime) / float64(inc.Metrics.Walltime),
 	}
+	if rpr != nil {
+		rj := toRun(rpr.Metrics, true)
+		rep.RepairTol = *repairTol
+		rep.Repair = &rj
+		rep.RepairFraction = 100 * repairFraction(rpr.Metrics)
+		rep.RepairEscalationRate = 100 * escalationRate(rpr.Metrics)
+		rep.RepairObjectiveDelta = 100 * (rpr.Metrics.Objective - full.Metrics.Objective) /
+			full.Metrics.Objective
+		rep.RepairWalltimeSpeedup = float64(full.Metrics.Walltime) / float64(rpr.Metrics.Walltime)
+	}
 	blob, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -194,6 +259,12 @@ func main() {
 	}
 	fmt.Printf("solve reduction after wave 0: %.1f%%  objective delta: %+.2f%%  speedup: %.2fx\n",
 		rep.SolveReduction, rep.ObjectiveDelta, rep.WalltimeSpeedup)
+	if rpr != nil {
+		fmt.Printf("repair rung: %.1f%% of dirty nets repaired (%.1f%% escalated)  objective delta: %+.2f%%  speedup: %.2fx\n",
+			rep.RepairFraction, rep.RepairEscalationRate,
+			rep.RepairObjectiveDelta, rep.RepairWalltimeSpeedup)
+		checkRepairFrac(rpr.Metrics, *minRepairFrac, prof)
+	}
 	if *maxIncRatio > 0 {
 		ratio := float64(inc.Metrics.Walltime) / float64(full.Metrics.Walltime)
 		if ratio > *maxIncRatio {
@@ -204,6 +275,23 @@ func main() {
 		}
 		fmt.Printf("incremental/full walltime ratio %.3f within bound %.3f\n", ratio, *maxIncRatio)
 	}
+}
+
+// checkRepairFrac enforces the -min-repair-frac CI gate on a
+// repair-enabled run: fail (exit 1) when the repair rung absorbed less
+// than the required fraction of the run's dirty nets.
+func checkRepairFrac(m costdist.RouteMetrics, min float64, prof *cliutil.Profiles) {
+	if min <= 0 {
+		return
+	}
+	frac := repairFraction(m)
+	if frac < min {
+		prof.Stop()
+		fmt.Fprintf(os.Stderr, "incbench: FAIL repair fraction %.3f below -min-repair-frac %.3f (%d repaired vs %d full solves)\n",
+			frac, min, m.NetsRepaired, m.NetsSolved)
+		os.Exit(1)
+	}
+	fmt.Printf("repair fraction %.3f meets bound %.3f\n", frac, min)
 }
 
 // resolvedWorkers mirrors the router's thread resolution (0 = all
@@ -350,36 +438,51 @@ func runSelection(chip *costdist.Chip, spec *costdist.ChipSpec, scale float64, o
 }
 
 // ecoReportJSON is the BENCH_warmstart.json schema: the base (cold,
-// unperturbed) run that produced the checkpoint, then the cold and the
-// warm-started run on the identical perturbed chip.
+// unperturbed) run that produced the checkpoint, then the cold, the
+// repair-less warm-started and (with -repairtol ≥ 0) the repair-enabled
+// warm-started run on the identical perturbed chip. WarmPerturbed is
+// the headline warm run — repair-enabled when the rung is on, otherwise
+// the plain warm run (and WarmNoRepair is absent).
 type ecoReportJSON struct {
-	Date          string  `json:"date"`
-	Go            string  `json:"go"`
-	CPUs          int     `json:"cpus"`
-	Workers       int     `json:"workers"`
-	Chip          string  `json:"chip"`
-	Scale         float64 `json:"scale"`
-	Nets          int     `json:"nets"`
-	Waves         int     `json:"waves"`
-	PerturbFrac   float64 `json:"perturb_frac"`
-	PerturbedNets int     `json:"perturbed_nets"`
-	CheckpointKB  int64   `json:"checkpoint_kb"`
-	Base          runJSON `json:"base"`
-	ColdPerturbed runJSON `json:"cold_perturbed"`
-	WarmPerturbed runJSON `json:"warm_perturbed"`
-	// WarmSolveFraction is warm solves / cold solves on the perturbed
-	// chip; WarmNetFraction is warm solves / (nets × waves).
+	Date          string   `json:"date"`
+	Go            string   `json:"go"`
+	CPUs          int      `json:"cpus"`
+	Workers       int      `json:"workers"`
+	Chip          string   `json:"chip"`
+	Scale         float64  `json:"scale"`
+	Nets          int      `json:"nets"`
+	Waves         int      `json:"waves"`
+	PerturbFrac   float64  `json:"perturb_frac"`
+	PerturbedNets int      `json:"perturbed_nets"`
+	CheckpointKB  int64    `json:"checkpoint_kb"`
+	Base          runJSON  `json:"base"`
+	ColdPerturbed runJSON  `json:"cold_perturbed"`
+	WarmNoRepair  *runJSON `json:"warm_norepair,omitempty"`
+	WarmPerturbed runJSON  `json:"warm_perturbed"`
+	// WarmSolveFraction is warm full solves / cold solves on the
+	// perturbed chip; WarmNetFraction is warm full solves /
+	// (nets × waves).
 	WarmSolveFraction float64 `json:"warm_solve_fraction_pct"`
 	WarmNetFraction   float64 `json:"warm_net_fraction_pct"`
 	// ObjectiveDelta is (warm − cold)/cold on the perturbed chip, in
 	// percent; negative means the warm start ends better.
 	ObjectiveDelta  float64 `json:"objective_delta_pct"`
 	WalltimeSpeedup float64 `json:"walltime_speedup"`
+	// The repair rung's contribution to the headline warm run:
+	// RepairFraction is the share of its dirty nets the rung absorbed,
+	// EscalationRate the share of repair attempts that fell through, and
+	// FullSolveReduction the drop in full oracle solves vs the
+	// repair-less warm run. All absent when the rung is disabled.
+	RepairTol          float64 `json:"repair_tol,omitempty"`
+	RepairFraction     float64 `json:"repair_fraction_pct,omitempty"`
+	EscalationRate     float64 `json:"repair_escalation_rate_pct,omitempty"`
+	FullSolveReduction float64 `json:"repair_full_solve_reduction_pct,omitempty"`
 }
 
 // runECO benchmarks warm-start rerouting: checkpoint a cold route, then
-// reroute an ECO-perturbed copy of the chip cold and warm.
-func runECO(chip *costdist.Chip, spec *costdist.ChipSpec, scale, frac float64, seed uint64, opt costdist.RouterOptions, out string) {
+// reroute an ECO-perturbed copy of the chip cold, warm without the
+// repair rung, and (with repairTol ≥ 0) warm with it enabled.
+func runECO(chip *costdist.Chip, spec *costdist.ChipSpec, scale, frac float64, seed uint64, repairTol, minRepairFrac float64, opt costdist.RouterOptions, out string, prof *cliutil.Profiles) {
 	fmt.Fprintf(os.Stderr, "incbench: eco on %s scale %g — %d nets, %d waves, perturb %g\n",
 		spec.Name, scale, len(chip.NL.Nets), opt.Waves, frac)
 	base, st, err := costdist.RouteChipCheckpoint(chip, costdist.CD, opt)
@@ -403,7 +506,8 @@ func runECO(chip *costdist.Chip, spec *costdist.ChipSpec, scale, frac float64, s
 	}
 	fmt.Fprintf(os.Stderr, "incbench: cold reroute done in %s\n", cold.Metrics.Walltime.Round(time.Millisecond))
 	// Warm-start from the wire form — the path the service takes — so
-	// the benchmark covers the codec too.
+	// the benchmark covers the codec too. Each warm leg gets a fresh
+	// unmarshal: RouteChipFrom consumes its state.
 	st2, err := costdist.UnmarshalCheckpoint(blob)
 	if err != nil {
 		fatal(err)
@@ -413,6 +517,23 @@ func runECO(chip *costdist.Chip, spec *costdist.ChipSpec, scale, frac float64, s
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "incbench: warm reroute done in %s\n", warm.Metrics.Walltime.Round(time.Millisecond))
+	var warmNR *costdist.RouteResult
+	if repairTol >= 0 {
+		warmNR = warm
+		optR := opt
+		optR.RepairTol = repairTol
+		st3, err := costdist.UnmarshalCheckpoint(blob)
+		if err != nil {
+			fatal(err)
+		}
+		warm, _, err = costdist.RouteChipFrom(st3, pert, costdist.CD, optR)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "incbench: warm+repair reroute done in %s — %d repaired, %d escalated\n",
+			warm.Metrics.Walltime.Round(time.Millisecond),
+			warm.Metrics.NetsRepaired, warm.Metrics.RepairEscalated)
+	}
 
 	rep := ecoReportJSON{
 		Date:          time.Now().Format("2006-01-02"),
@@ -437,6 +558,17 @@ func runECO(chip *costdist.Chip, spec *costdist.ChipSpec, scale, frac float64, s
 			cold.Metrics.Objective,
 		WalltimeSpeedup: float64(cold.Metrics.Walltime) / float64(warm.Metrics.Walltime),
 	}
+	if warmNR != nil {
+		nr := toRun(warmNR.Metrics, true)
+		rep.WarmNoRepair = &nr
+		rep.RepairTol = repairTol
+		rep.RepairFraction = 100 * repairFraction(warm.Metrics)
+		rep.EscalationRate = 100 * escalationRate(warm.Metrics)
+		if warmNR.Metrics.NetsSolved > 0 {
+			rep.FullSolveReduction = 100 * (1 - float64(warm.Metrics.NetsSolved)/
+				float64(warmNR.Metrics.NetsSolved))
+		}
+	}
 	blobOut, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -448,6 +580,11 @@ func runECO(chip *costdist.Chip, spec *costdist.ChipSpec, scale, frac float64, s
 	fmt.Printf("eco: %d/%d nets perturbed  warm solves %.1f%% of cold (%.1f%% of net-waves)  objective %+.2f%%  speedup %.2fx\n",
 		changed, len(chip.NL.Nets), rep.WarmSolveFraction, rep.WarmNetFraction,
 		rep.ObjectiveDelta, rep.WalltimeSpeedup)
+	if warmNR != nil {
+		fmt.Printf("eco repair: %.1f%% of dirty nets repaired (%.1f%% escalated)  full solves -%.1f%% vs repair-less warm\n",
+			rep.RepairFraction, rep.EscalationRate, rep.FullSolveReduction)
+		checkRepairFrac(warm.Metrics, minRepairFrac, prof)
+	}
 }
 
 func fatal(err error) {

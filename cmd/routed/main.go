@@ -39,6 +39,7 @@ func main() {
 	queue := flag.Int("queue", 128, "bounded task queue depth per shard (full queues answer 503)")
 	cacheMB := flag.Int("cache-mb", 64, "result cache byte budget in MiB (0 disables caching)")
 	checkpointMB := flag.Int("checkpoint-mb", 128, "warm-start checkpoint store byte budget in MiB (0 disables base_job warm starts)")
+	repairTol := flag.Float64("repairtol", -1, "default repair tolerance for requests without repair_tol: > 0 enables the incremental engine's topology-repair rung, ≤ 0 keeps it off")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		cliutil.FatalUsage("routed", fmt.Errorf("unexpected arguments: %v", flag.Args()))
@@ -54,12 +55,13 @@ func main() {
 		checkpointBytes = -1
 	}
 	srv, err := service.New(service.Config{
-		Shards:          *shards,
-		WorkersPerShard: *workers,
-		QueueDepth:      *queue,
-		CacheBytes:      cacheBytes,
-		CheckpointBytes: checkpointBytes,
-		DefaultMethod:   *oracleName,
+		Shards:           *shards,
+		WorkersPerShard:  *workers,
+		QueueDepth:       *queue,
+		CacheBytes:       cacheBytes,
+		CheckpointBytes:  checkpointBytes,
+		DefaultMethod:    *oracleName,
+		DefaultRepairTol: *repairTol,
 	})
 	if err != nil {
 		cliutil.Fatal("routed", err)

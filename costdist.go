@@ -27,7 +27,12 @@
 //     the first rip-up-and-reroute wave only nets invalidated by
 //     congestion or timing price changes are re-solved, with cache and
 //     delta counters reported in RouteMetrics. The disabled path is
-//     bit-identical to full re-solving;
+//     bit-identical to full re-solving. RouterOptions.RepairTol ≥ 0
+//     adds a topology-repair rung between replay and full re-solve: a
+//     net dirtied only by price drift is first re-embedded optimally on
+//     its cached topology (internal/reembed) and escalates to the
+//     oracle only when the repair degrades past tolerance
+//     (RouteMetrics.NetsRepaired / RepairEscalated);
 //   - a pluggable oracle registry (internal/oracle) behind the Method
 //     type: every fixed method is a registry lookup, the Auto driver
 //     picks an oracle per net from its timing criticality

@@ -400,6 +400,16 @@ func (w Window) Index(v V) int32 {
 	return (l*w.h+(y-w.R.Y0))*w.w + (x - w.R.X0)
 }
 
+// RectIndex returns the dense index of grid cell (x, y) on layer l.
+// The cell must lie inside the window rectangle; indices along a row
+// are contiguous, so callers can iterate a sub-rectangle row by row.
+func (w Window) RectIndex(x, y, l int32) int32 {
+	return (l*w.h+(y-w.R.Y0))*w.w + (x - w.R.X0)
+}
+
+// Layers returns the number of layers the window spans.
+func (w Window) Layers() int32 { return w.layers }
+
 // Vertex returns the graph vertex for a dense window index.
 func (w Window) Vertex(idx int32) V {
 	x := idx % w.w

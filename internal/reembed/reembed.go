@@ -1,0 +1,691 @@
+// Package reembed is the topology-repair rung of the incremental
+// routing engine: a fixed-topology optimal re-embedding of a cached net
+// tree under the current congestion and timing prices. Between the two
+// existing rungs — replay a cached tree verbatim, or pay a full oracle
+// solve — it implements the middle tier of Maßberg's fixed-topology
+// rectilinear Steiner DP (arXiv 1412.5010): keep the cached tree's
+// topology (the parent/child structure over root, sinks and Steiner
+// points), let every Steiner point float, and re-embed the topology
+// cost-minimally in time polynomial in the tree size.
+//
+// The pipeline per net is extraction → re-embedding → adoption:
+//
+//   - ExtractTopology contracts the cached embedded tree (nets.RTree)
+//     back to its plane topology: tree vertices hosting sinks or three
+//     or more tree branches become topology nodes, degree-2
+//     pass-through chains are spliced out. Bend positions carry no
+//     information — the re-embedding re-routes every topology edge
+//     anyway.
+//   - Reembed runs the same two-pass bottom-up/top-down dynamic program
+//     as package embed (spread child tables toward the parent by
+//     multi-source Dijkstra under the metric c(e) + W·d(e), then
+//     reconstruct top-down), but over the small repair window around
+//     the cached tree instead of the oracle's full routing window, and
+//     on a reusable generation-stamped Scratch (the sparse.FlatI32
+//     idiom from the solver arenas) instead of per-call allocations.
+//     Restricted to the window grid of the subtree's terminals, the DP
+//     returns the cost-minimal embedding of the topology.
+//   - Repair evaluates both the repaired and the cached tree under the
+//     current prices through nets.Evaluate and adopts the cheaper one,
+//     so a repair outcome never prices above the replayed cached tree.
+//
+// Everything is a pure function of (instance, cached tree): results are
+// independent of worker count and scheduling, which is what lets the
+// router keep its bit-identical determinism guarantees with the repair
+// rung enabled.
+package reembed
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"costdist/internal/geom"
+	"costdist/internal/grid"
+	"costdist/internal/heaps"
+	"costdist/internal/nets"
+	"costdist/internal/sparse"
+)
+
+var inf32 = float32(math.Inf(1))
+
+// Halo is the window margin, in gcells, added around the cached tree's
+// bounding box (plus the terminals) to form the repair window. The DP
+// embeds optimally within the window; a small halo lets a repaired
+// Steiner point sidestep a freshly priced hot spot next to the tree
+// without paying for the oracle's full routing window.
+const Halo = 2
+
+// maxTableCells bounds window-size × topology-node-count, the DP's
+// table footprint in float32 cells. Nets beyond it (huge windows, very
+// high fanout) report ErrTooLarge and escalate to a full solve instead
+// of allocating hundreds of MB per worker.
+const maxTableCells = 16 << 20
+
+// maxSettles bounds the total Dijkstra settle count of one repair
+// attempt across all spreads. The bound-pruned corridor keeps typical
+// repairs far below it; a net that blows the budget (big window and a
+// loose cost bound — heavy drift on a high-fanout net) is exactly a
+// net where the oracle's own goal-directed search is the cheaper tool,
+// so the attempt aborts with ErrTooLarge and escalates. Settle order
+// is deterministic, so the cutoff is too.
+const maxSettles = 48 << 10
+
+// ErrTooLarge reports a net whose repair tables would exceed
+// maxTableCells; the caller escalates it to a full oracle solve.
+var ErrTooLarge = errors.New("reembed: repair tables too large")
+
+// errNoImprovement reports that every embedding of the topology prices
+// at or above the cost bound the DP was given — the cached tree is
+// already optimal-or-tied within the window, so Repair adopts it
+// without error.
+var errNoImprovement = errors.New("reembed: no embedding under cost bound")
+
+// Outcome is the result of one repair attempt.
+type Outcome struct {
+	// Tree is the adopted tree: the re-embedding when it prices below
+	// the cached tree, the cached tree otherwise.
+	Tree *nets.RTree
+	// Eval is Tree's evaluation under the current prices; CachedEval
+	// the cached tree's. Eval.Total ≤ CachedEval.Total always holds.
+	Eval       *nets.Eval
+	CachedEval *nets.Eval
+	// Improved reports whether the re-embedding beat the cached tree.
+	Improved bool
+}
+
+// Scratch is the reusable per-worker workspace of the repair DP:
+// epoch-stamped Dijkstra state over the repair window (O(1) reset, the
+// sparse.FlatI32 idiom) plus a pooled slab of per-node cost tables.
+// Not safe for concurrent use; give each worker its own.
+type Scratch struct {
+	// vid maps window indices to dense tree-vertex ids during topology
+	// extraction.
+	vid sparse.FlatI32
+
+	// Dijkstra workspace over the current window, epoch-stamped so a
+	// new spread never clears O(window) memory.
+	dist    []float64
+	pred    []int32
+	parc    []grid.Arc
+	touched []uint32
+	settled []uint32
+	epoch   uint32
+	heap    heaps.Lazy[int32]
+
+	// tables pools the per-node DP tables across calls; ntab is the
+	// number handed out in the current call.
+	tables [][]float32
+	ntab   int
+}
+
+// NewScratch returns an empty workspace; it grows to the largest
+// repair window it ever serves and is reused across nets and waves.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// ensure sizes the Dijkstra workspace for a window of the given size
+// and advances the epoch, invalidating all previous stamps in O(1).
+func (s *Scratch) ensure(size int32) {
+	n := int(size)
+	if cap(s.dist) < n {
+		s.dist = make([]float64, n)
+		s.pred = make([]int32, n)
+		s.parc = make([]grid.Arc, n)
+		s.touched = make([]uint32, n)
+		s.settled = make([]uint32, n)
+		s.epoch = 0
+	}
+	s.dist = s.dist[:n]
+	s.pred = s.pred[:n]
+	s.parc = s.parc[:n]
+	s.touched = s.touched[:n]
+	s.settled = s.settled[:n]
+	if s.epoch == math.MaxUint32-1 {
+		// Stamp space nearly exhausted: pay one clear, restart stamps.
+		for i := range s.touched {
+			s.touched[i] = 0
+			s.settled[i] = 0
+		}
+		s.epoch = 0
+	}
+}
+
+// grabTable hands out a pooled float32 table of the given size; its
+// contents are undefined and must be fully written by the caller.
+func (s *Scratch) grabTable(size int32) []float32 {
+	if s.ntab == len(s.tables) {
+		s.tables = append(s.tables, nil)
+	}
+	t := s.tables[s.ntab]
+	if cap(t) < int(size) {
+		t = make([]float32, size)
+	}
+	t = t[:size]
+	s.tables[s.ntab] = t
+	s.ntab++
+	return t
+}
+
+// Window returns the repair window of a cached tree: the bounding box
+// of the tree and the instance terminals, expanded by Halo and clamped
+// to the grid.
+func Window(in *nets.Instance, cached *nets.RTree) geom.Rect {
+	r := cached.BBox(in.G)
+	r = r.Add(in.G.Pt(in.Root))
+	for _, s := range in.Sinks {
+		r = r.Add(in.G.Pt(s.V))
+	}
+	return r.Expand(Halo, in.G.NX, in.G.NY)
+}
+
+// Repair attempts the fixed-topology re-embedding of a cached tree
+// under the instance's current prices and returns the adopted tree —
+// the re-embedding when it is strictly cheaper, the cached tree
+// otherwise — together with both evaluations. Errors (malformed cached
+// tree, repair tables too large) mean the net cannot be repaired and
+// must escalate to a full solve.
+func Repair(in *nets.Instance, cached *nets.RTree, scr *Scratch) (*Outcome, error) {
+	if scr == nil {
+		scr = NewScratch()
+	}
+	cachedEval, err := nets.Evaluate(in, cached)
+	if err != nil {
+		return nil, fmt.Errorf("reembed: cached tree: %w", err)
+	}
+	if len(cached.Steps) == 0 {
+		// Every terminal sits on the root vertex; there is nothing to
+		// re-embed.
+		return &Outcome{Tree: cached, Eval: cachedEval, CachedEval: cachedEval}, nil
+	}
+	win := Window(in, cached)
+	topo, err := ExtractTopology(in, cached, win, scr)
+	if err != nil {
+		return nil, err
+	}
+	// The cached tree's priced total is a hard cost bound for the DP:
+	// adoption is strict-<, so embeddings at or above it are worthless
+	// and the spreads prune to the corridor that can still beat it.
+	bound := cachedEval.Total * (1 + 1e-9)
+	tr, _, err := Reembed(in, topo, win, bound, scr)
+	if errors.Is(err, errNoImprovement) {
+		return &Outcome{Tree: cached, Eval: cachedEval, CachedEval: cachedEval}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	ev, err := nets.Evaluate(in, tr)
+	if err != nil {
+		return nil, fmt.Errorf("reembed: repaired tree: %w", err)
+	}
+	// Adoption rule: strict < keeps the cached tree on ties, so a
+	// repair can only ever lower the priced objective.
+	if ev.Total < cachedEval.Total {
+		return &Outcome{Tree: tr, Eval: ev, CachedEval: cachedEval, Improved: true}, nil
+	}
+	return &Outcome{Tree: cached, Eval: cachedEval, CachedEval: cachedEval}, nil
+}
+
+// ExtractTopology contracts a cached embedded tree to its plane
+// topology. Topology nodes are the root, every vertex hosting a sink,
+// and every vertex where the rooted tree branches; pass-through chains
+// between them are spliced out, dangling stubs dropped. The result is
+// a valid PlaneTree over the instance's sinks (Canonicalize-ready; the
+// caller binarizes it).
+func ExtractTopology(in *nets.Instance, cached *nets.RTree, winRect geom.Rect, scr *Scratch) (*nets.PlaneTree, error) {
+	g := in.G
+	win := g.NewWindow(winRect)
+	scr.vid.Reset(int(win.Size()))
+
+	// Dense-id the tree vertices in step order (deterministic).
+	verts := make([]grid.V, 0, len(cached.Steps)+1)
+	id := func(v grid.V) (int32, error) {
+		idx := win.Index(v)
+		if idx < 0 {
+			return -1, fmt.Errorf("reembed: tree vertex %d outside repair window", v)
+		}
+		if got, ok := scr.vid.Get(idx); ok {
+			return got, nil
+		}
+		nid := int32(len(verts))
+		scr.vid.Put(idx, nid)
+		verts = append(verts, v)
+		return nid, nil
+	}
+	rootID, err := id(in.Root)
+	if err != nil {
+		return nil, err
+	}
+	type edge struct{ a, b int32 }
+	edges := make([]edge, 0, len(cached.Steps))
+	for _, st := range cached.Steps {
+		a, err := id(st.From)
+		if err != nil {
+			return nil, err
+		}
+		b, err := id(st.Arc.To)
+		if err != nil {
+			return nil, err
+		}
+		edges = append(edges, edge{a, b})
+	}
+	nv := len(verts)
+
+	// Adjacency as a linked edge list (two half-edges per step).
+	head := make([]int32, nv)
+	for i := range head {
+		head[i] = -1
+	}
+	next := make([]int32, 0, 2*len(edges))
+	to := make([]int32, 0, 2*len(edges))
+	addHalf := func(from, t int32) {
+		next = append(next, head[from])
+		to = append(to, t)
+		head[from] = int32(len(to) - 1)
+	}
+	for _, e := range edges {
+		addHalf(e.a, e.b)
+		addHalf(e.b, e.a)
+	}
+
+	// Root the tree: BFS parents from the root vertex.
+	parent := make([]int32, nv)
+	order := make([]int32, 0, nv)
+	for i := range parent {
+		parent[i] = -2 // unvisited
+	}
+	parent[rootID] = -1
+	order = append(order, rootID)
+	for qi := 0; qi < len(order); qi++ {
+		v := order[qi]
+		for ei := head[v]; ei >= 0; ei = next[ei] {
+			c := to[ei]
+			if parent[c] == -2 {
+				parent[c] = v
+				order = append(order, c)
+			}
+		}
+	}
+	if len(order) != nv {
+		return nil, fmt.Errorf("reembed: cached tree disconnected from root")
+	}
+
+	// Children per vertex (adjacency order) and hosted sinks.
+	kids := make([][]int32, nv)
+	for _, v := range order {
+		for ei := head[v]; ei >= 0; ei = next[ei] {
+			c := to[ei]
+			if parent[c] == v {
+				kids[v] = append(kids[v], c)
+			}
+		}
+	}
+	sinksOf := make([][]int32, nv)
+	for si, s := range in.Sinks {
+		idx := win.Index(s.V)
+		var vid int32 = -1
+		if idx >= 0 {
+			if got, ok := scr.vid.Get(idx); ok {
+				vid = got
+			}
+		}
+		if vid < 0 {
+			return nil, fmt.Errorf("reembed: sink %d not on cached tree", si)
+		}
+		sinksOf[vid] = append(sinksOf[vid], int32(si))
+	}
+
+	out := &nets.PlaneTree{}
+	out.Nodes = append(out.Nodes, nets.PlaneNode{Pos: g.Pt(in.Root), Parent: -1, SinkIdx: -1})
+	// Sinks hosted on the root vertex hang as leaves under node 0 (the
+	// root node itself must stay a plain terminal).
+	for _, si := range sinksOf[rootID] {
+		out.Nodes = append(out.Nodes, nets.PlaneNode{Pos: g.Pt(in.Root), Parent: 0, SinkIdx: si})
+	}
+
+	// attach materializes the topology node for the subtree entered at
+	// dense vertex v under PlaneTree node parentNode, splicing
+	// pass-through chains on the way down.
+	var attach func(v, parentNode int32)
+	attach = func(v, parentNode int32) {
+		for len(sinksOf[v]) == 0 && len(kids[v]) == 1 {
+			v = kids[v][0]
+		}
+		if len(sinksOf[v]) == 0 && len(kids[v]) == 0 {
+			return // dangling stub: carries nothing
+		}
+		n := nets.PlaneNode{Pos: g.Pt(verts[v]), Parent: parentNode, SinkIdx: -1}
+		hosted := sinksOf[v]
+		if len(hosted) > 0 {
+			n.SinkIdx = hosted[0]
+			hosted = hosted[1:]
+		}
+		out.Nodes = append(out.Nodes, n)
+		me := int32(len(out.Nodes) - 1)
+		// Co-located extra sinks become leaf children at the same spot.
+		for _, si := range hosted {
+			out.Nodes = append(out.Nodes, nets.PlaneNode{Pos: n.Pos, Parent: me, SinkIdx: si})
+		}
+		for _, c := range kids[v] {
+			attach(c, me)
+		}
+	}
+	for _, c := range kids[rootID] {
+		attach(c, 0)
+	}
+	return out, nil
+}
+
+// Reembed embeds the topology cost-minimally into in.G restricted to
+// the window win: the two-pass DP of package embed (bottom-up tables
+// spread by multi-source Dijkstra, top-down reconstruction) on the
+// reusable scratch. It returns the embedded tree and the DP's
+// objective estimate (congestion + weighted delay + bifurcation
+// penalty constants). bound is a hard total-cost cutoff: the spreads
+// prune every partial embedding that already prices at or above it
+// (pass +Inf for the unbounded DP) and errNoImprovement reports that
+// no embedding beats it.
+func Reembed(in *nets.Instance, tree *nets.PlaneTree, winRect geom.Rect, bound float64, scr *Scratch) (*nets.RTree, float64, error) {
+	if scr == nil {
+		scr = NewScratch()
+	}
+	sinkW := make([]float64, len(in.Sinks))
+	for i, s := range in.Sinks {
+		sinkW[i] = s.W
+	}
+	ct := tree.Canonicalize(sinkW, in.DBif, in.Eta)
+	if err := ct.Validate(len(in.Sinks)); err != nil {
+		return nil, 0, fmt.Errorf("reembed: %w", err)
+	}
+	kids := ct.Children()
+	if len(kids[0]) == 0 {
+		return &nets.RTree{}, 0, nil
+	}
+
+	win := in.G.NewWindow(winRect)
+	size := win.Size()
+	if int64(size)*int64(len(ct.Nodes)) > maxTableCells {
+		return nil, 0, ErrTooLarge
+	}
+	e := &reembedder{in: in, ct: ct, kids: kids, win: win, size: size, scr: scr}
+	e.subW = make([]float64, len(ct.Nodes))
+	e.computeSubW(0)
+	e.rects = make([]geom.Rect, len(ct.Nodes))
+	e.computeRects()
+	e.acc = make([][]float32, len(ct.Nodes))
+	scr.ensure(size)
+	scr.ntab = 0
+
+	rootIdx := win.Index(in.Root)
+	if rootIdx < 0 {
+		return nil, 0, fmt.Errorf("reembed: root outside repair window")
+	}
+
+	// The bifurcation penalties are constants of the topology (they
+	// depend only on the subtree weight split, never on positions), so
+	// they come off the bound before the spreads see it.
+	penalty := 0.0
+	for v := range kids {
+		if ch := kids[v]; len(ch) == 2 {
+			penalty += nets.Beta(in.DBif, in.Eta, e.subW[ch[0]], e.subW[ch[1]])
+		}
+	}
+	e.bound = bound - penalty
+
+	// Bottom-up tables.
+	var up func(v int32) error
+	up = func(v int32) error {
+		for _, c := range kids[v] {
+			if err := up(c); err != nil {
+				return err
+			}
+		}
+		return e.accumulate(v)
+	}
+	top := kids[0][0]
+	if err := up(top); err != nil {
+		return nil, 0, err
+	}
+
+	// Top edge: spread the root's single child toward the root vertex.
+	e.spread(top, rootIdx, e.corridor(e.rects[top].Add(in.G.Pt(in.Root))))
+	if e.aborted {
+		return nil, 0, ErrTooLarge
+	}
+	if e.scr.settled[rootIdx] != e.scr.epoch {
+		if !math.IsInf(bound, 1) {
+			return nil, 0, errNoImprovement
+		}
+		return nil, 0, fmt.Errorf("reembed: root unreachable in repair window")
+	}
+	estimate := e.scr.dist[rootIdx] + penalty
+	// Reconstruction re-runs each spread with an early-termination
+	// target; give it a fresh settle budget so a DP that just fit the
+	// bottom-up budget cannot abort while tracing the tree it found.
+	e.work = 0
+
+	// Top-down reconstruction; children are re-spread on demand so the
+	// workspace holds the spread of the node currently being traced.
+	var steps []nets.Step
+	var down func(v, atIdx int32) error
+	down = func(v, atIdx int32) error {
+		cur := atIdx
+		for e.scr.pred[cur] >= 0 {
+			p := e.scr.pred[cur]
+			steps = append(steps, nets.Step{From: win.Vertex(p), Arc: e.scr.parc[cur]})
+			cur = p
+		}
+		for _, c := range kids[v] {
+			base := e.rects[c].Union(e.rects[v]).Add(in.G.Pt(win.Vertex(cur)))
+			e.spread(c, cur, e.corridor(base))
+			if e.aborted {
+				return ErrTooLarge
+			}
+			if e.scr.settled[cur] != e.scr.epoch {
+				return fmt.Errorf("reembed: reconstruction target unreachable")
+			}
+			if err := down(c, cur); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := down(top, rootIdx); err != nil {
+		return nil, 0, err
+	}
+
+	rt, err := nets.PruneToTree(in, steps)
+	if err != nil {
+		return nil, 0, err
+	}
+	return rt, estimate, nil
+}
+
+// reembedder is the per-call view of the DP: topology, window and the
+// borrowed scratch.
+type reembedder struct {
+	in   *nets.Instance
+	ct   *nets.PlaneTree
+	kids [][]int32
+	win  grid.Window
+	size int32
+	subW []float64
+	// rects[v] is the degenerate box at topology node v's cached
+	// position. A repair is a local perturbation of the cached tree —
+	// every node re-places within the halo of where it was — so the
+	// spread of a topology edge is confined to the halo-expanded bbox
+	// of its two cached endpoints (the corridor) instead of the whole
+	// repair window. Correctness is unaffected: adoption re-evaluates
+	// the reconstructed tree, so narrowing the search can only trade
+	// repair power for speed, never produce a tree worse than replay;
+	// nets whose better embedding lies outside every corridor come back
+	// unimproved and escalate through the cost check.
+	rects []geom.Rect
+	// bound is the spread-level cost cutoff (total bound minus the
+	// constant bifurcation penalties); labels at or above it are pruned.
+	bound float64
+	// work counts Dijkstra settles across all spreads; aborted flags a
+	// spread cut short by the maxSettles budget (its workspace is
+	// incomplete and must not be read).
+	work    int
+	aborted bool
+	// acc[v] is D_v: min subtree cost with node v embedded at each
+	// window vertex, on tables borrowed from the scratch pool.
+	acc [][]float32
+	scr *Scratch
+}
+
+func (e *reembedder) computeSubW(v int32) float64 {
+	w := 0.0
+	if s := e.ct.Nodes[v].SinkIdx; s >= 0 {
+		w = e.in.Sinks[s].W
+	}
+	for _, c := range e.kids[v] {
+		w += e.computeSubW(c)
+	}
+	e.subW[v] = w
+	return w
+}
+
+func (e *reembedder) computeRects() {
+	for v, n := range e.ct.Nodes {
+		e.rects[v] = geom.Rect{X0: n.Pos.X, Y0: n.Pos.Y, X1: n.Pos.X, Y1: n.Pos.Y}
+	}
+}
+
+// corridor halo-expands a base box and clamps it to the repair window,
+// yielding the sub-rectangle one spread is allowed to explore.
+func (e *reembedder) corridor(base geom.Rect) geom.Rect {
+	return base.Expand(Halo, e.in.G.NX, e.in.G.NY).Intersect(e.win.R)
+}
+
+// accumulate builds acc[v]: the summed spreads of v's children, with
+// cells whose partial cost already reaches the bound pruned to inf
+// (every term is nonnegative, so a partial sum at the bound can never
+// be part of an embedding below it).
+func (e *reembedder) accumulate(v int32) error {
+	n := e.ct.Nodes[v]
+	tbl := e.scr.grabTable(e.size)
+	if n.SinkIdx >= 0 {
+		for i := range tbl {
+			tbl[i] = inf32
+		}
+		idx := e.win.Index(e.in.Sinks[n.SinkIdx].V)
+		if idx < 0 {
+			return fmt.Errorf("reembed: sink %d outside repair window", n.SinkIdx)
+		}
+		tbl[idx] = 0
+		e.acc[v] = tbl
+		return nil
+	}
+	ch := e.kids[v]
+	bound := e.bound
+	any := false
+	for i, c := range ch {
+		any = false
+		e.spread(c, -1, e.corridor(e.rects[c].Union(e.rects[v])))
+		if e.aborted {
+			return ErrTooLarge
+		}
+		if i == 0 {
+			for x := int32(0); x < e.size; x++ {
+				if e.scr.settled[x] == e.scr.epoch {
+					tbl[x] = float32(e.scr.dist[x])
+					any = true
+				} else {
+					tbl[x] = inf32
+				}
+			}
+		} else {
+			for x := int32(0); x < e.size; x++ {
+				if tbl[x] == inf32 {
+					continue
+				}
+				if e.scr.settled[x] == e.scr.epoch &&
+					float64(tbl[x])+e.scr.dist[x] < bound {
+					tbl[x] += float32(e.scr.dist[x])
+					any = true
+				} else {
+					tbl[x] = inf32
+				}
+			}
+		}
+	}
+	if !any {
+		if !math.IsInf(bound, 1) {
+			return errNoImprovement
+		}
+		return fmt.Errorf("reembed: subtree unreachable in repair window")
+	}
+	e.acc[v] = tbl
+	return nil
+}
+
+// spread runs a multi-source Dijkstra seeded with acc[c] under the
+// metric cost + subW[c]·delay, filling the scratch workspace. The
+// search never leaves corr — the corridor around the subtree and its
+// destination (every finite seed lies inside it by construction). If
+// target ≥ 0 the search stops as soon as that window index settles;
+// with target -1 it exhausts the corridor.
+func (e *reembedder) spread(c, target int32, corr geom.Rect) {
+	w := e.subW[c]
+	s := e.scr
+	s.epoch++
+	s.heap.Reset()
+	seeds := e.acc[c]
+	costs := e.in.C
+	g := e.in.G
+	bound := e.bound
+	for l := int32(0); l < e.win.Layers(); l++ {
+		for y := corr.Y0; y <= corr.Y1; y++ {
+			x0 := e.win.RectIndex(corr.X0, y, l)
+			x1 := e.win.RectIndex(corr.X1, y, l)
+			for x := x0; x <= x1; x++ {
+				if seeds[x] < inf32 && float64(seeds[x]) < bound {
+					s.dist[x] = float64(seeds[x])
+					s.pred[x] = -1
+					s.touched[x] = s.epoch
+					s.heap.Push(s.dist[x], x)
+				}
+			}
+		}
+	}
+	for s.heap.Len() > 0 {
+		k, x := s.heap.Pop()
+		if k >= bound {
+			return // keys are monotone: everything left prices out
+		}
+		if s.settled[x] == s.epoch || k > s.dist[x] {
+			continue
+		}
+		s.settled[x] = s.epoch
+		e.work++
+		if e.work > maxSettles {
+			e.aborted = true
+			return
+		}
+		if x == target {
+			return
+		}
+		v := e.win.Vertex(x)
+		g.Arcs(v, e.win.R, func(a grid.Arc) bool {
+			y := e.win.Index(a.To)
+			if y < 0 || s.settled[y] == s.epoch {
+				return true
+			}
+			xv := int32(a.To) % g.NX
+			yv := (int32(a.To) / g.NX) % g.NY
+			if xv < corr.X0 || xv > corr.X1 || yv < corr.Y0 || yv > corr.Y1 {
+				return true
+			}
+			nd := k + costs.ArcCost(a) + w*costs.ArcDelay(a)
+			if nd < bound && (s.touched[y] != s.epoch || nd < s.dist[y]) {
+				s.dist[y] = nd
+				s.pred[y] = x
+				s.parc[y] = a
+				s.touched[y] = s.epoch
+				s.heap.Push(nd, y)
+			}
+			return true
+		})
+	}
+}

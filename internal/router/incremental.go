@@ -70,6 +70,21 @@ type incState struct {
 	// cached (or candidate) oracle consumes budgets.
 	lastOracle  []int16
 	cand, dirty []bool
+	// repair marks the middle disposition of the three-rung scheduler
+	// (clean → replay, repairable → re-embed, degraded → full solve):
+	// dirty nets whose only invalidation is congestion-price drift — pins,
+	// weights, budgets and oracle band unchanged — first attempt a
+	// fixed-topology re-embedding (internal/reembed) before escalating to
+	// the oracle. Populated only when repairOn.
+	repair   []bool
+	repairOn bool
+	// fullCost[ni] is the priced congestion cost of net ni's last FULL
+	// oracle solve. Unlike lastCost it is not rebaselined by adopted
+	// repairs, so successive repairs accumulate drift against the last
+	// real solve and the escalation rule (repaired cost >
+	// (1+RepairTol)·fullCost) eventually fires instead of a congested net
+	// dodging the oracle forever through small repair steps.
+	fullCost []float64
 	// fastest[ni][k] is the admissible fastest root→sink delay used by
 	// the Auto band check — identical, by construction, to the value
 	// Selection.PickInstance derives on the solve path (same pin
@@ -140,6 +155,9 @@ func newIncState(chip *chipgen.Chip, drv *driver, opt Options) *incState {
 		lastOracle: make([]int16, len(nl.Nets)),
 		cand:       make([]bool, len(nl.Nets)),
 		dirty:      make([]bool, len(nl.Nets)),
+		repair:     make([]bool, len(nl.Nets)),
+		repairOn:   opt.RepairTol >= 0,
+		fullCost:   make([]float64, len(nl.Nets)),
 		steps:      make([]netSteps, len(nl.Nets)),
 	}
 	for i := range s.lastOracle {
@@ -179,13 +197,18 @@ func (s *incState) computeDirty(costs *grid.Costs, trees []*nets.RTree, weights,
 	for i := range s.dirty {
 		s.cand[i] = false
 		s.dirty[i] = false
+		s.repair[i] = false
 	}
 	if s.seed != nil {
 		// Seeded wave (warm start): the diff decided what is dirty; add
-		// only the nets that have never been solved at all.
+		// only the nets that have never been solved at all. A seeded net
+		// with a restored tree was invalidated purely by the capacity/
+		// price diff (its pin signature matched at restore time), which is
+		// exactly the repair rung's territory.
 		for ni := range s.dirty {
 			if s.seed[ni] || s.lastW[ni] == nil || trees[ni] == nil {
 				s.dirty[ni] = true
+				s.repair[ni] = s.repairOn && s.seed[ni] && s.lastW[ni] != nil && trees[ni] != nil
 				work = append(work, int32(ni))
 			}
 		}
@@ -225,19 +248,17 @@ func (s *incState) computeDirty(costs *grid.Costs, trees []*nets.RTree, weights,
 			}
 			if s.drifted(cur, s.lastCost[ni]) {
 				s.dirty[ni] = true
-				continue
 			}
 		}
-		for k, w := range weights[ni] {
-			if s.drifted(w, lw[k]) {
-				s.dirty[ni] = true
-				break
+		if !s.dirty[ni] {
+			for k, w := range weights[ni] {
+				if s.drifted(w, lw[k]) {
+					s.dirty[ni] = true
+					break
+				}
 			}
 		}
-		if s.dirty[ni] {
-			continue
-		}
-		if s.drv.mode == Auto {
+		if !s.dirty[ni] && s.drv.mode == Auto {
 			// A criticality band flip re-selects the oracle; the cached
 			// tree, however close in price, came from the wrong one.
 			var fs []float64
@@ -246,25 +267,26 @@ func (s *incState) computeDirty(costs *grid.Costs, trees []*nets.RTree, weights,
 			}
 			if s.drv.pickIdx(weights[ni], budgets[ni], fs) != int(s.lastOracle[ni]) {
 				s.dirty[ni] = true
-				continue
 			}
 		}
-		if !s.drv.usesBudgets(int(s.lastOracle[ni])) {
+		if !s.dirty[ni] && s.drv.usesBudgets(int(s.lastOracle[ni])) {
 			// Budgets only steer budget-consuming oracles (shallow-light);
 			// others ignore them, so budget drift alone must not rip
 			// their nets.
-			continue
-		}
-		lb := s.lastB[ni]
-		if lb == nil || len(lb) != len(budgets[ni]) {
-			s.dirty[ni] = true
-			continue
-		}
-		for k, b := range budgets[ni] {
-			if s.drifted(b, lb[k]) {
+			lb := s.lastB[ni]
+			if lb == nil || len(lb) != len(budgets[ni]) {
 				s.dirty[ni] = true
-				break
+			} else {
+				for k, b := range budgets[ni] {
+					if s.drifted(b, lb[k]) {
+						s.dirty[ni] = true
+						break
+					}
+				}
 			}
+		}
+		if s.dirty[ni] {
+			s.repair[ni] = s.repairOn && s.repairEligible(ni, weights, budgets)
 		}
 	}
 	for ni, d := range s.dirty {
@@ -273,6 +295,32 @@ func (s *incState) computeDirty(costs *grid.Costs, trees []*nets.RTree, weights,
 		}
 	}
 	return work, deltaSegs
+}
+
+// repairEligible reports whether a dirty net may take the repair rung.
+// Price, weight and budget drift are all repairable: the re-embedding
+// DP prices the cached topology under the *current* multipliers,
+// weights and budgets, and the escalation rule (cost vs the last full
+// solve, plus the post-repair budget check) catches the cases where
+// the drift really demands a new topology. The rung is refused only
+// when the topology choice itself is suspect: an Auto criticality-band
+// flip re-selects the oracle class, and a budget-consuming oracle
+// whose budget vector changed shape no longer matches its snapshot.
+func (s *incState) repairEligible(ni int, weights, budgets [][]float64) bool {
+	if s.drv.mode == Auto {
+		var fs []float64
+		if budgets[ni] != nil {
+			fs = s.fastest[ni]
+		}
+		if s.drv.pickIdx(weights[ni], budgets[ni], fs) != int(s.lastOracle[ni]) {
+			return false
+		}
+	}
+	if !s.drv.usesBudgets(int(s.lastOracle[ni])) {
+		return true
+	}
+	lb := s.lastB[ni]
+	return lb != nil && len(lb) == len(budgets[ni])
 }
 
 // noteSolved snapshots the inputs net ni was just solved under — timing
@@ -288,6 +336,14 @@ func (s *incState) noteSolved(ni int, w, b []float64, tr *nets.RTree, congCost f
 	s.lastOracle[ni] = int16(oracleIdx)
 	s.setRegion(ni, tr)
 	s.buildSteps(ni, tr)
+}
+
+// noteFullSolve is noteSolved for a full oracle solve: it additionally
+// rebaselines the escalation reference cost. Adopted repairs go through
+// plain noteSolved so fullCost keeps pointing at the last real solve.
+func (s *incState) noteFullSolve(ni int, w, b []float64, tr *nets.RTree, congCost float64, oracleIdx int) {
+	s.noteSolved(ni, w, b, tr, congCost, oracleIdx)
+	s.fullCost[ni] = congCost
 }
 
 // setRegion updates net ni's candidate region from its new tree and
@@ -359,6 +415,7 @@ func (s *incState) restoreNet(ni int, w, b []float64, lastCost float64, oracleId
 	s.lastW[ni] = append(s.lastW[ni][:0], w...)
 	s.lastB[ni] = append(s.lastB[ni][:0], b...)
 	s.lastCost[ni] = lastCost
+	s.fullCost[ni] = lastCost
 	s.lastOracle[ni] = int16(oracleIdx)
 	s.setRegion(ni, tr)
 	s.buildSteps(ni, tr)

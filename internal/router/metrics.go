@@ -45,6 +45,18 @@ type Metrics struct {
 	SkippedPerWave   []int
 	DeltaSegsPerWave []int
 
+	// NetsRepaired counts dirty nets absorbed by the topology-repair
+	// rung (fixed-topology re-embedding adopted, no oracle solve);
+	// RepairEscalated counts repair attempts that fell through to a full
+	// solve (those nets are also in NetsSolved). Both stay zero unless
+	// Options.RepairTol ≥ 0. RepairedPerWave and EscalatedPerWave split
+	// the counters by wave; they are only populated when the rung is
+	// enabled, so disabled runs keep their legacy wire form.
+	NetsRepaired     int64
+	RepairEscalated  int64
+	RepairedPerWave  []int
+	EscalatedPerWave []int
+
 	// SolvesByOracle counts oracle invocations by registry name. A
 	// fixed method charges every solve to its one oracle; Auto charges
 	// the selected oracle per net; Portfolio charges every pool member

@@ -28,6 +28,7 @@ import (
 	"costdist/internal/core"
 	"costdist/internal/nets"
 	"costdist/internal/oracle"
+	"costdist/internal/reembed"
 )
 
 // Method selects the oracle driver of a routing run. The four fixed
@@ -158,6 +159,15 @@ type Options struct {
 	// the net was last solved under. 0 invalidates on any change; a
 	// negative value forces every net dirty every wave (no skips).
 	IncrementalTol float64
+	// RepairTol enables the topology-repair rung of the incremental
+	// scheduler: a net invalidated only by congestion-price drift (pins,
+	// weights and budgets unchanged) is first re-embedded on its cached
+	// topology (internal/reembed) and escalates to a full oracle solve
+	// only when the repaired cost still exceeds (1+RepairTol) times the
+	// net's last full-solve cost, or a delay budget is violated.
+	// Negative (the default) disables the rung entirely: every dirty net
+	// escalates, reproducing the two-rung scheduler bit-for-bit.
+	RepairTol float64
 
 	// Selection configures the Auto selector's criticality bands and
 	// the Portfolio pool; fixed single-oracle runs never consult (or
@@ -189,6 +199,7 @@ func DefaultOptions() Options {
 		CaptureWave: -1,
 
 		IncrementalTol: 0.05,
+		RepairTol:      -1,
 
 		// CriticalWeight stays 0: the driver derives it from the actual
 		// WeightBase (2 × floor), so retuning the floor keeps the Auto
@@ -203,12 +214,16 @@ func DefaultOptions() Options {
 // chips of a suite).
 type scratchPool struct {
 	scr []*core.Scratch
+	// re holds the matching per-worker repair workspaces; allocated
+	// alongside scr so a pool serves repair-enabled and plain runs alike.
+	re []*reembed.Scratch
 }
 
 // grow ensures the pool holds at least n arenas.
 func (p *scratchPool) grow(n int) {
 	for len(p.scr) < n {
 		p.scr = append(p.scr, core.NewScratch())
+		p.re = append(p.re, reembed.NewScratch())
 	}
 }
 

@@ -223,6 +223,11 @@ func RouteCheckpoint(ctx context.Context, chip *chipgen.Chip, m Method, opt Opti
 // The warm run always uses the dirty-net scheduler regardless of
 // opt.Incremental; a negative opt.IncrementalTol still forces every
 // net dirty (a full re-solve that only reuses the restored prices).
+// With opt.RepairTol ≥ 0, seeded nets whose pin signature matched at
+// restore time — invalidated purely by the capacity/price diff — take
+// the topology-repair rung first and only escalate to a full oracle
+// solve when the repair degrades past tolerance; pin-changed and added
+// nets have no usable cached tree and always solve in full.
 // The returned State is the new run's checkpoint, so ECO chains can
 // warm-start from warm starts.
 func RouteFrom(ctx context.Context, st *State, chip *chipgen.Chip, m Method, opt Options) (*Result, *State, error) {

@@ -16,6 +16,7 @@ import (
 	"costdist/internal/grid"
 	"costdist/internal/nets"
 	"costdist/internal/oracle"
+	"costdist/internal/reembed"
 	"costdist/internal/sta"
 )
 
@@ -194,6 +195,11 @@ func (r *runState) runWaves() error {
 		workerUsage := make([]*cong.Usage, threads)
 		workerErr := make([]error, threads)
 		captured := make([][]*nets.Instance, threads)
+		// Per-worker repair tallies: workers write disjoint indices and
+		// integer addition commutes, so the wave totals are independent
+		// of how nets land on workers.
+		workerRepaired := make([]int, threads)
+		workerEscalated := make([]int, threads)
 		var next atomic.Int64
 		var wg sync.WaitGroup
 		for w := 0; w < threads; w++ {
@@ -227,6 +233,17 @@ func (r *runState) runWaves() error {
 					ni := int(work[idx])
 					in := buildInstance(chip, ni, r.weights[ni], costs, r.dbif, opt)
 					in.Budgets = r.budgets[ni]
+					if r.inc != nil && r.inc.repair[ni] {
+						// The middle rung: re-embed the cached topology
+						// under the current prices. Adopted repairs skip
+						// the oracle (and the capture hook — they are not
+						// fresh solves); failures fall through to one.
+						if r.tryRepair(ni, worker, in) {
+							workerRepaired[worker]++
+							continue
+						}
+						workerEscalated[worker]++
+					}
 					tr, oi, ev, err := drv.solve(in, &env, r.workerCounts[worker])
 					if err != nil {
 						if workerErr[worker] == nil {
@@ -254,7 +271,7 @@ func (r *runState) runWaves() error {
 						// tree's cost and region, and which oracle produced
 						// it; workers touch disjoint nets, so this is
 						// race-free.
-						r.inc.noteSolved(ni, r.weights[ni], r.budgets[ni], tr, ev.CongCost, oi)
+						r.inc.noteFullSolve(ni, r.weights[ni], r.budgets[ni], tr, ev.CongCost, oi)
 					}
 					if capture && len(in.Sinks) >= 1 {
 						captured[worker] = append(captured[worker], snapshot(in))
@@ -285,11 +302,22 @@ func (r *runState) runWaves() error {
 			r.usage = cong.NewUsage(g)
 			r.inc.replayUsage(r.usage, r.trees)
 		}
-		r.res.Metrics.NetsSolved += int64(nWork)
+		nRepaired, nEscalated := 0, 0
+		for w := 0; w < threads; w++ {
+			nRepaired += workerRepaired[w]
+			nEscalated += workerEscalated[w]
+		}
+		r.res.Metrics.NetsSolved += int64(nWork - nRepaired)
 		r.res.Metrics.NetsSkipped += int64(nNets - nWork)
-		r.res.Metrics.SolvedPerWave = append(r.res.Metrics.SolvedPerWave, nWork)
+		r.res.Metrics.NetsRepaired += int64(nRepaired)
+		r.res.Metrics.RepairEscalated += int64(nEscalated)
+		r.res.Metrics.SolvedPerWave = append(r.res.Metrics.SolvedPerWave, nWork-nRepaired)
 		r.res.Metrics.SkippedPerWave = append(r.res.Metrics.SkippedPerWave, nNets-nWork)
 		r.res.Metrics.DeltaSegsPerWave = append(r.res.Metrics.DeltaSegsPerWave, deltaSegs)
+		if r.inc != nil && r.inc.repairOn {
+			r.res.Metrics.RepairedPerWave = append(r.res.Metrics.RepairedPerWave, nRepaired)
+			r.res.Metrics.EscalatedPerWave = append(r.res.Metrics.EscalatedPerWave, nEscalated)
+		}
 		if capture {
 			for _, cs := range captured {
 				r.res.Captured = append(r.res.Captured, cs...)
@@ -343,6 +371,44 @@ func (r *runState) runWaves() error {
 		}
 	}
 	return nil
+}
+
+// tryRepair runs the repair rung on one dirty net: re-embed its cached
+// topology under the wave's prices (internal/reembed) and adopt the
+// result unless the escalation rule fires. It returns whether the
+// repair was adopted; false sends the net to a full oracle solve. The
+// decision is a pure function of (instance, cached tree, snapshots), so
+// results stay independent of worker count and scheduling.
+func (r *runState) tryRepair(ni, worker int, in *nets.Instance) bool {
+	out, err := reembed.Repair(in, r.trees[ni], r.pool.re[worker])
+	if err != nil {
+		// Unrepairable (table cap, malformed cache): escalate.
+		return false
+	}
+	// Escalation rule 1: even the repaired embedding drifted beyond
+	// RepairTol relative to the last FULL solve's priced cost. fullCost
+	// is deliberately not rebaselined by adopted repairs, so a net that
+	// keeps degrading in small steps cannot dodge the oracle forever.
+	if out.Eval.CongCost > (1+r.opt.RepairTol)*r.inc.fullCost[ni] {
+		return false
+	}
+	// Escalation rule 2: a delay budget is violated and the net's oracle
+	// actually consumes budgets — the repair cannot re-plan the topology
+	// the way a budget-aware solve would.
+	if r.drv.usesBudgets(int(r.inc.lastOracle[ni])) {
+		for k, d := range out.Eval.SinkDelay {
+			if d > r.budgets[ni][k] {
+				return false
+			}
+		}
+	}
+	r.trees[ni] = out.Tree
+	copy(r.delays[ni], out.Eval.SinkDelay)
+	// Plain noteSolved: lastCost rebaselines (drift churn stops) but
+	// fullCost keeps pointing at the last real solve; the cached tree's
+	// oracle provenance is preserved.
+	r.inc.noteSolved(ni, r.weights[ni], r.budgets[ni], out.Tree, out.Eval.CongCost, int(r.inc.lastOracle[ni]))
+	return true
 }
 
 // buildInstance assembles the cost-distance subproblem for one net under

@@ -1,0 +1,34 @@
+package service
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+)
+
+// gzipBytes compresses a marshaled checkpoint for retention. BestSpeed:
+// checkpoint JSON is so repetitive (tree steps, per-net vectors) that
+// the fast level already collapses it several-fold, and route jobs
+// should not stall on a deeper compressor.
+func gzipBytes(b []byte) []byte {
+	var buf bytes.Buffer
+	zw, _ := gzip.NewWriterLevel(&buf, gzip.BestSpeed)
+	_, _ = zw.Write(b)
+	_ = zw.Close()
+	return buf.Bytes()
+}
+
+// gunzipBytes reverses gzipBytes; an error means the stored blob is
+// corrupt and the checkpoint should count as a miss.
+func gunzipBytes(b []byte) ([]byte, error) {
+	zr, err := gzip.NewReader(bytes.NewReader(b))
+	if err != nil {
+		return nil, err
+	}
+	defer zr.Close()
+	out, err := io.ReadAll(zr)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

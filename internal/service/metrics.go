@@ -58,6 +58,15 @@ type metrics struct {
 	warmStartHits   atomic.Int64
 	warmStartMisses atomic.Int64
 	netsReused      atomic.Int64
+	// netsRepaired/repairEscalated sum the route jobs' repair-rung
+	// counters (RouteMetrics.NetsRepaired / RepairEscalated).
+	netsRepaired    atomic.Int64
+	repairEscalated atomic.Int64
+	// checkpointRawBytes/GzBytes total the marshaled and stored
+	// (gzip-compressed) sizes of retained checkpoints — their ratio is
+	// the live compression factor of the checkpoint store.
+	checkpointRawBytes atomic.Int64
+	checkpointGzBytes  atomic.Int64
 
 	solveLatency *histogram // time-to-response of /v1/solve (hits and misses)
 	jobLatency   *histogram // run time of route jobs
@@ -128,12 +137,23 @@ func renderMetrics(m *metrics, cs, cps CacheStats, queueDepth int, jobs map[stri
 	add("# TYPE routed_warm_start_nets_reused_total counter\n")
 	add("routed_warm_start_nets_reused_total %d\n", m.netsReused.Load())
 
+	add("# TYPE routed_nets_repaired_total counter\n")
+	add("routed_nets_repaired_total %d\n", m.netsRepaired.Load())
+	add("# TYPE routed_repair_escalated_total counter\n")
+	add("routed_repair_escalated_total %d\n", m.repairEscalated.Load())
+
+	// routed_checkpoint_bytes reports the store's resident (compressed)
+	// bytes; the *_raw/_gzip totals expose the compression ratio.
 	add("# TYPE routed_checkpoint_bytes gauge\n")
 	add("routed_checkpoint_bytes %d\n", cps.Bytes)
 	add("# TYPE routed_checkpoint_entries gauge\n")
 	add("routed_checkpoint_entries %d\n", cps.Entries)
 	add("# TYPE routed_checkpoint_evictions_total counter\n")
 	add("routed_checkpoint_evictions_total %d\n", cps.Evictions)
+	add("# TYPE routed_checkpoint_raw_bytes_total counter\n")
+	add("routed_checkpoint_raw_bytes_total %d\n", m.checkpointRawBytes.Load())
+	add("# TYPE routed_checkpoint_gzip_bytes_total counter\n")
+	add("routed_checkpoint_gzip_bytes_total %d\n", m.checkpointGzBytes.Load())
 
 	add("# TYPE routed_jobs gauge\n")
 	for _, st := range sortedKeys(jobs) {

@@ -86,6 +86,11 @@ type Config struct {
 	// DefaultMethod is the oracle used when a request does not name
 	// one. Default: "cd".
 	DefaultMethod string
+	// DefaultRepairTol, when > 0, enables the incremental engine's
+	// topology-repair rung for route requests that do not carry their
+	// own repair_tol (see RouteRequest.RepairTol). The zero value keeps
+	// the rung off, matching the library default.
+	DefaultRepairTol float64
 }
 
 func (c Config) withDefaults() Config {
@@ -251,6 +256,13 @@ type RouteRequest struct {
 	BaseJob     string  `json:"base_job,omitempty"`
 	PerturbFrac float64 `json:"perturb_frac,omitempty"`
 	PerturbSeed uint64  `json:"perturb_seed,omitempty"`
+	// RepairTol sets RouterOptions.RepairTol — the escalation tolerance
+	// of the incremental engine's topology-repair rung. Absent means
+	// the server's DefaultRepairTol (off unless configured), keeping
+	// legacy request bodies on their legacy content addresses; negative
+	// values normalize to absent (every "disabled" spelling shares one
+	// cache key).
+	RepairTol *float64 `json:"repair_tol,omitempty"`
 }
 
 // JobView is the job status representation returned by the jobs
@@ -514,6 +526,25 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 	}
 	ropt.Threads = req.Threads
 	ropt.Incremental = req.Incremental
+	// Repair tolerance: an explicit negative forces the rung off even
+	// against a configured server default — the default applies only
+	// when the request is silent. Negative spellings canonicalize to -1
+	// (or to absent when there is no default to override, where the two
+	// are indistinguishable) before the content address is taken.
+	if req.RepairTol != nil && *req.RepairTol < 0 {
+		if s.cfg.DefaultRepairTol > 0 {
+			v := -1.0
+			req.RepairTol = &v
+		} else {
+			req.RepairTol = nil
+		}
+	} else if req.RepairTol == nil && s.cfg.DefaultRepairTol > 0 {
+		v := s.cfg.DefaultRepairTol
+		req.RepairTol = &v
+	}
+	if req.RepairTol != nil {
+		ropt.RepairTol = *req.RepairTol
+	}
 
 	spec, ok := costdist.ChipSpecByName(req.Chip, req.Scale)
 	if !ok {
@@ -674,14 +705,22 @@ func (s *Server) runRouteJob(job *job, req RouteRequest, spec costdist.ChipSpec,
 	if base != nil {
 		s.met.netsReused.Add(res.Metrics.NetsSkipped)
 	}
+	s.met.netsRepaired.Add(res.Metrics.NetsRepaired)
+	s.met.repairEscalated.Add(res.Metrics.RepairEscalated)
 	out, err := costdist.MarshalRouteResult(chip, res)
 	if err != nil {
 		fail(err)
 		return
 	}
 	if retain && cp != nil {
+		// Checkpoints are stored gzip-compressed: the marshaled state is
+		// mostly repetitive tree-step JSON, so compression multiplies the
+		// number of base jobs the byte budget can retain.
 		if blob, err := costdist.MarshalCheckpoint(cp); err == nil {
-			s.checkpoints.Put(key, blob)
+			gz := gzipBytes(blob)
+			s.met.checkpointRawBytes.Add(int64(len(blob)))
+			s.met.checkpointGzBytes.Add(int64(len(gz)))
+			s.checkpoints.Put(key, gz)
 		}
 	}
 	// A warm request that fell back cold (base checkpoint missing or
@@ -718,8 +757,12 @@ func (s *Server) baseCheckpoint(baseJob string, chip *costdist.Chip) *costdist.R
 	if !ok {
 		return miss()
 	}
-	blob, ok := s.checkpoints.Get(bj.ckey)
+	gz, ok := s.checkpoints.Get(bj.ckey)
 	if !ok {
+		return miss()
+	}
+	blob, err := gunzipBytes(gz)
+	if err != nil {
 		return miss()
 	}
 	st, err := costdist.UnmarshalCheckpoint(blob)

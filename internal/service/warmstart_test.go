@@ -242,3 +242,31 @@ func TestRouteWarmStartZeroPerturbation(t *testing.T) {
 		t.Fatal("unperturbed warm start reported no skips")
 	}
 }
+
+// A server-wide -repairtol default applies to requests that are silent
+// about repair_tol, and an explicit negative forces the rung off even
+// against that default — the two requests must not share a cache entry.
+func TestRouteRepairTolDefaultAndExplicitOff(t *testing.T) {
+	_, ts := newTestServer(t, Config{DefaultRepairTol: 0.25})
+
+	cold := submitRoute(t, ts.URL, `{"chip":"c1","scale":0.002,"waves":2,"oracle":"cd","incremental":true}`)
+	waitResult(t, ts.URL, cold.ID)
+
+	warm := submitRoute(t, ts.URL,
+		`{"chip":"c1","scale":0.002,"waves":2,"oracle":"cd","incremental":true,"base_job":"`+cold.ID+`","perturb_frac":0.1,"perturb_seed":5}`)
+	wm := resultMetrics(t, waitResult(t, ts.URL, warm.ID))
+	if wm.NetsRepaired == 0 {
+		t.Fatalf("server default repair_tol did not engage the rung: %+v", wm)
+	}
+
+	off := submitRoute(t, ts.URL,
+		`{"chip":"c1","scale":0.002,"waves":2,"oracle":"cd","incremental":true,"base_job":"`+cold.ID+`","perturb_frac":0.1,"perturb_seed":5,"repair_tol":-1}`)
+	om := resultMetrics(t, waitResult(t, ts.URL, off.ID))
+	if om.NetsRepaired != 0 || om.RepairEscalated != 0 {
+		t.Fatalf("explicit repair_tol -1 did not force the rung off: %+v", om)
+	}
+	if om.NetsSolved <= wm.NetsSolved {
+		t.Fatalf("repair-less warm start should solve more nets: %d vs %d",
+			om.NetsSolved, wm.NetsSolved)
+	}
+}

@@ -286,6 +286,13 @@ type RouteMetricsJSON struct {
 	SkippedPerWave   []int            `json:"skipped_per_wave,omitempty"`
 	DeltaSegsPerWave []int            `json:"delta_segs_per_wave,omitempty"`
 	SolvesByOracle   map[string]int64 `json:"solves_by_oracle,omitempty"`
+	// Repair-tier counters; every field is omitempty and stays zero
+	// unless the topology-repair rung was enabled (RepairTol ≥ 0), so
+	// legacy runs keep their exact legacy wire bytes.
+	NetsRepaired     int64 `json:"nets_repaired,omitempty"`
+	RepairEscalated  int64 `json:"repair_escalated,omitempty"`
+	RepairedPerWave  []int `json:"repaired_per_wave,omitempty"`
+	EscalatedPerWave []int `json:"escalated_per_wave,omitempty"`
 }
 
 // RouteResultJSON is the on-wire form of a full routing run: the
@@ -309,6 +316,10 @@ func routeMetricsJSON(mt RouteMetrics) RouteMetricsJSON {
 		SkippedPerWave:   mt.SkippedPerWave,
 		DeltaSegsPerWave: mt.DeltaSegsPerWave,
 		SolvesByOracle:   mt.SolvesByOracle,
+		NetsRepaired:     mt.NetsRepaired,
+		RepairEscalated:  mt.RepairEscalated,
+		RepairedPerWave:  mt.RepairedPerWave,
+		EscalatedPerWave: mt.EscalatedPerWave,
 	}
 }
 
@@ -324,6 +335,10 @@ func routeMetricsFromJSON(f RouteMetricsJSON) RouteMetrics {
 		SkippedPerWave:   f.SkippedPerWave,
 		DeltaSegsPerWave: f.DeltaSegsPerWave,
 		SolvesByOracle:   f.SolvesByOracle,
+		NetsRepaired:     f.NetsRepaired,
+		RepairEscalated:  f.RepairEscalated,
+		RepairedPerWave:  f.RepairedPerWave,
+		EscalatedPerWave: f.EscalatedPerWave,
 	}
 }
 
