@@ -6,11 +6,13 @@
 //
 //	grroute -chip c3 -oracle cd|rsmt|sl|pd|auto|portfolio -scale 0.01 -waves 4 [-dbif=0] [-workers 16] [-incremental] [-repairtol 0.25]
 //	grroute -chip c1 -scale 0.05 -cpuprofile cpu.pprof -memprofile mem.pprof
+//	grroute -chip c1 -trace route.json   # Chrome trace_event timeline of the run
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 
 	"costdist"
 	"costdist/internal/cliutil"
@@ -31,6 +33,7 @@ func main() {
 	repairTol := flag.Float64("repairtol", -1, "topology-repair escalation tolerance: ≥ 0 re-embeds price-dirtied nets on their cached topology before a full re-solve, < 0 disables the rung (default)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the routing run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile taken after the routing run to this file")
+	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON timeline of the routing run to this file (open in chrome://tracing or Perfetto)")
 	flag.Parse()
 	incTolSet := false
 	flag.Visit(func(f *flag.Flag) {
@@ -68,6 +71,11 @@ func main() {
 	// The flag default (-1) equals the router default, so unconditional
 	// assignment preserves unset semantics without a flag.Visit check.
 	opt.RepairTol = *repairTol
+	var rec *costdist.Recorder
+	if *traceFile != "" {
+		rec = costdist.NewRecorder()
+		opt.Recorder = rec
+	}
 
 	fmt.Printf("chip %s: %d nets, %d layers, clk %.0f ps, dbif %.3f ps\n",
 		spec.Name, spec.NNets, spec.Layers, chip.ClkPeriod, chip.DBif)
@@ -92,5 +100,19 @@ func main() {
 	if *repairTol >= 0 {
 		fmt.Printf("repair tier: %d repaired, %d escalated; per wave repaired %v escalated %v\n",
 			mt.NetsRepaired, mt.RepairEscalated, mt.RepairedPerWave, mt.EscalatedPerWave)
+	}
+	if rec != nil {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			cliutil.Fatal("grroute", err)
+		}
+		if err := costdist.WriteTrace(f, rec); err != nil {
+			cliutil.Fatal("grroute", err)
+		}
+		if err := f.Close(); err != nil {
+			cliutil.Fatal("grroute", err)
+		}
+		fmt.Printf("trace: %d spans to %s; per-wave convergence objective %v overflow %v\n",
+			len(rec.Spans()), *traceFile, mt.ObjectivePerWave, mt.OverflowPerWave)
 	}
 }

@@ -20,9 +20,15 @@
 // and the share of dirty nets the repair rung absorbed instead of
 // sending to a full oracle solve.
 //
+// The default and -eco modes attach a telemetry recorder to every leg:
+// the reports persist the per-wave convergence series and stage-time
+// breakdown, a per-stage walltime table prints after the headline
+// numbers, and -trace writes the headline leg's Chrome trace_event
+// timeline.
+//
 // Usage:
 //
-//	incbench -chip c1 -scale 0.25 [-waves 4] [-workers 0] [-repairtol 0.25] [-out BENCH_incremental.json]
+//	incbench -chip c1 -scale 0.25 [-waves 4] [-workers 0] [-repairtol 0.25] [-out BENCH_incremental.json] [-trace inc.json]
 //	incbench -selection -chip c1 -scale 0.25 [-waves 4] [-out BENCH_selection.json]
 //	incbench -eco -chip c1 -scale 0.25 [-waves 4] [-perturb 0.05] [-min-repair-frac 0.25] [-out BENCH_warmstart.json]
 package main
@@ -60,6 +66,12 @@ type runJSON struct {
 	RepairedPerWave  []int   `json:"repaired_per_wave,omitempty"`
 	EscalatedPerWave []int   `json:"escalated_per_wave,omitempty"`
 	WalltimeMS       int64   `json:"walltime_ms"`
+	// Per-wave telemetry from the run's recorder: the deterministic
+	// convergence series and the wall-clock stage breakdown (fine to
+	// persist here — bench reports are measurements, not cached results).
+	ObjectivePerWave []float64             `json:"objective_per_wave,omitempty"`
+	OverflowPerWave  []float64             `json:"overflow_per_wave,omitempty"`
+	StageNsPerWave   []costdist.StageNanos `json:"stage_ns_per_wave,omitempty"`
 }
 
 type reportJSON struct {
@@ -102,7 +114,49 @@ func toRun(m costdist.RouteMetrics, incremental bool) runJSON {
 		RepairedPerWave:  m.RepairedPerWave,
 		EscalatedPerWave: m.EscalatedPerWave,
 		WalltimeMS:       m.Walltime.Milliseconds(),
+		ObjectivePerWave: m.ObjectivePerWave,
+		OverflowPerWave:  m.OverflowPerWave,
+		StageNsPerWave:   m.StageNanosPerWave,
 	}
+}
+
+// printStageTable prints one run's per-wave stage walltime breakdown.
+// Solve and repair sum the concurrent workers' time, so those columns
+// can exceed the wave's wall clock on multi-worker runs.
+func printStageTable(label string, m costdist.RouteMetrics) {
+	if len(m.StageNanosPerWave) == 0 {
+		return
+	}
+	ms := func(ns int64) string { return fmt.Sprintf("%9.1f", float64(ns)/1e6) }
+	fmt.Printf("%s per-stage walltime (ms; solve/repair sum worker time):\n", label)
+	fmt.Printf("  wave     dirty   reprice    repair     solve    replay\n")
+	var tot costdist.StageNanos
+	for w, sn := range m.StageNanosPerWave {
+		fmt.Printf("  %4d %s %s %s %s %s\n", w,
+			ms(sn.Dirty), ms(sn.Price), ms(sn.Repair), ms(sn.Solve), ms(sn.Replay))
+		tot.Dirty += sn.Dirty
+		tot.Price += sn.Price
+		tot.Repair += sn.Repair
+		tot.Solve += sn.Solve
+		tot.Replay += sn.Replay
+	}
+	fmt.Printf("  all  %s %s %s %s %s\n",
+		ms(tot.Dirty), ms(tot.Price), ms(tot.Repair), ms(tot.Solve), ms(tot.Replay))
+}
+
+// writeTrace dumps a leg's recorder as a Chrome trace_event file.
+func writeTrace(path string, rec *costdist.Recorder) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := costdist.WriteTrace(f, rec); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "incbench: trace (%d spans) written to %s\n", len(rec.Spans()), path)
 }
 
 // repairFraction is the share of dirty nets the repair rung absorbed:
@@ -138,6 +192,7 @@ func main() {
 	out := flag.String("out", "", "output file (default BENCH_incremental.json, BENCH_selection.json with -selection, BENCH_warmstart.json with -eco)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the benchmark to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
+	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON timeline of the headline leg (incremental; warm with -eco) to this file")
 	maxIncRatio := flag.Float64("max-inc-ratio", 0, "fail (exit 1) if incremental/full walltime exceeds this ratio (0 = no check); the CI smoke gate")
 	repairTol := flag.Float64("repairtol", 0.25, "topology-repair escalation tolerance of the repair legs (< 0 skips them)")
 	minRepairFrac := flag.Float64("min-repair-frac", 0, "fail (exit 1) if the repair rung absorbs less than this fraction of the repair leg's dirty nets (0 = no check); the ECO CI smoke gate")
@@ -183,27 +238,36 @@ func main() {
 		return
 	}
 	if *eco {
-		runECO(chip, spec, *scale, *perturb, *perturbSeed, *repairTol, *minRepairFrac, opt, *out, prof)
+		runECO(chip, spec, *scale, *perturb, *perturbSeed, *repairTol, *minRepairFrac, opt, *out, *traceFile, prof)
 		return
 	}
 
 	fmt.Fprintf(os.Stderr, "incbench: %s scale %g — %d nets, %d waves\n",
 		spec.Name, *scale, spec.NNets, opt.Waves)
+	// One fresh recorder per leg — a reused recorder would accumulate
+	// the previous leg's waves into the next leg's series.
+	opt.Recorder = costdist.NewRecorder()
 	full, err := costdist.RouteChip(chip, costdist.CD, opt)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "incbench: full done in %s\n", full.Metrics.Walltime.Round(time.Millisecond))
 	opt.Incremental = true
+	incRec := costdist.NewRecorder()
+	opt.Recorder = incRec
 	inc, err := costdist.RouteChip(chip, costdist.CD, opt)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "incbench: incremental done in %s\n", inc.Metrics.Walltime.Round(time.Millisecond))
+	if *traceFile != "" {
+		writeTrace(*traceFile, incRec)
+	}
 	var rpr *costdist.RouteResult
 	if *repairTol >= 0 {
 		optR := opt
 		optR.RepairTol = *repairTol
+		optR.Recorder = costdist.NewRecorder()
 		rpr, err = costdist.RouteChip(chip, costdist.CD, optR)
 		if err != nil {
 			fatal(err)
@@ -259,6 +323,11 @@ func main() {
 	}
 	fmt.Printf("solve reduction after wave 0: %.1f%%  objective delta: %+.2f%%  speedup: %.2fx\n",
 		rep.SolveReduction, rep.ObjectiveDelta, rep.WalltimeSpeedup)
+	printStageTable("full", full.Metrics)
+	printStageTable("incremental", inc.Metrics)
+	if rpr != nil {
+		printStageTable("repair", rpr.Metrics)
+	}
 	if rpr != nil {
 		fmt.Printf("repair rung: %.1f%% of dirty nets repaired (%.1f%% escalated)  objective delta: %+.2f%%  speedup: %.2fx\n",
 			rep.RepairFraction, rep.RepairEscalationRate,
@@ -482,9 +551,11 @@ type ecoReportJSON struct {
 // runECO benchmarks warm-start rerouting: checkpoint a cold route, then
 // reroute an ECO-perturbed copy of the chip cold, warm without the
 // repair rung, and (with repairTol ≥ 0) warm with it enabled.
-func runECO(chip *costdist.Chip, spec *costdist.ChipSpec, scale, frac float64, seed uint64, repairTol, minRepairFrac float64, opt costdist.RouterOptions, out string, prof *cliutil.Profiles) {
+func runECO(chip *costdist.Chip, spec *costdist.ChipSpec, scale, frac float64, seed uint64, repairTol, minRepairFrac float64, opt costdist.RouterOptions, out, traceFile string, prof *cliutil.Profiles) {
 	fmt.Fprintf(os.Stderr, "incbench: eco on %s scale %g — %d nets, %d waves, perturb %g\n",
 		spec.Name, scale, len(chip.NL.Nets), opt.Waves, frac)
+	// Fresh recorder per leg, as in the default mode.
+	opt.Recorder = costdist.NewRecorder()
 	base, st, err := costdist.RouteChipCheckpoint(chip, costdist.CD, opt)
 	if err != nil {
 		fatal(err)
@@ -500,6 +571,7 @@ func runECO(chip *costdist.Chip, spec *costdist.ChipSpec, scale, frac float64, s
 	if err != nil {
 		fatal(err)
 	}
+	opt.Recorder = costdist.NewRecorder()
 	cold, err := costdist.RouteChip(pert, costdist.CD, opt)
 	if err != nil {
 		fatal(err)
@@ -512,6 +584,8 @@ func runECO(chip *costdist.Chip, spec *costdist.ChipSpec, scale, frac float64, s
 	if err != nil {
 		fatal(err)
 	}
+	warmRec := costdist.NewRecorder()
+	opt.Recorder = warmRec
 	warm, _, err := costdist.RouteChipFrom(st2, pert, costdist.CD, opt)
 	if err != nil {
 		fatal(err)
@@ -526,6 +600,8 @@ func runECO(chip *costdist.Chip, spec *costdist.ChipSpec, scale, frac float64, s
 		if err != nil {
 			fatal(err)
 		}
+		warmRec = costdist.NewRecorder()
+		optR.Recorder = warmRec
 		warm, _, err = costdist.RouteChipFrom(st3, pert, costdist.CD, optR)
 		if err != nil {
 			fatal(err)
@@ -580,6 +656,11 @@ func runECO(chip *costdist.Chip, spec *costdist.ChipSpec, scale, frac float64, s
 	fmt.Printf("eco: %d/%d nets perturbed  warm solves %.1f%% of cold (%.1f%% of net-waves)  objective %+.2f%%  speedup %.2fx\n",
 		changed, len(chip.NL.Nets), rep.WarmSolveFraction, rep.WarmNetFraction,
 		rep.ObjectiveDelta, rep.WalltimeSpeedup)
+	printStageTable("cold", cold.Metrics)
+	printStageTable("warm", warm.Metrics)
+	if traceFile != "" {
+		writeTrace(traceFile, warmRec)
+	}
 	if warmNR != nil {
 		fmt.Printf("eco repair: %.1f%% of dirty nets repaired (%.1f%% escalated)  full solves -%.1f%% vs repair-less warm\n",
 			rep.RepairFraction, rep.EscalationRate, rep.FullSolveReduction)

@@ -106,10 +106,10 @@ func main() {
 	if err := os.WriteFile(*out, data, 0o644); err != nil {
 		cliutil.Fatal("loadgen", err)
 	}
-	fmt.Printf("unique: %.0f req/s (p50 %.2f ms, p99 %.2f ms, %d errors)\n",
-		uniqueStats["reqps"], uniqueStats["p50_ms"], uniqueStats["p99_ms"], uniqueStats["errors"])
-	fmt.Printf("repeat: %.0f req/s, %.1f%% cache hits (p50 %.2f ms, p99 %.2f ms)\n",
-		repeatStats["reqps"], 100*repeatStats["hit_rate"].(float64), repeatStats["p50_ms"], repeatStats["p99_ms"])
+	fmt.Printf("unique: %.0f req/s (p50 %.2f ms, p90 %.2f ms, p99 %.2f ms, %d errors)\n",
+		uniqueStats["reqps"], uniqueStats["p50_ms"], uniqueStats["p90_ms"], uniqueStats["p99_ms"], uniqueStats["errors"])
+	fmt.Printf("repeat: %.0f req/s, %.1f%% cache hits (p50 %.2f ms, p90 %.2f ms, p99 %.2f ms)\n",
+		repeatStats["reqps"], 100*repeatStats["hit_rate"].(float64), repeatStats["p50_ms"], repeatStats["p90_ms"], repeatStats["p99_ms"])
 	if cancelMS < 0 {
 		fmt.Println("cancel: probe inconclusive (job finished first)")
 	} else {
@@ -220,6 +220,7 @@ func runPhase(client *http.Client, base, oracle string, workers, n int, body fun
 		"reqps":      float64(ok) / elapsed.Seconds(),
 		"hit_rate":   hitRate,
 		"p50_ms":     pct(0.50),
+		"p90_ms":     pct(0.90),
 		"p95_ms":     pct(0.95),
 		"p99_ms":     pct(0.99),
 		"mean_ms":    mean(all),

@@ -40,6 +40,7 @@ func main() {
 	cacheMB := flag.Int("cache-mb", 64, "result cache byte budget in MiB (0 disables caching)")
 	checkpointMB := flag.Int("checkpoint-mb", 128, "warm-start checkpoint store byte budget in MiB (0 disables base_job warm starts)")
 	repairTol := flag.Float64("repairtol", -1, "default repair tolerance for requests without repair_tol: > 0 enables the incremental engine's topology-repair rung, ≤ 0 keeps it off")
+	flightSpans := flag.Int("flight-spans", 0, "flight-recorder ring capacity in telemetry spans, dumped at /debug/obs (0 = default)")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		cliutil.FatalUsage("routed", fmt.Errorf("unexpected arguments: %v", flag.Args()))
@@ -62,6 +63,7 @@ func main() {
 		CheckpointBytes:  checkpointBytes,
 		DefaultMethod:    *oracleName,
 		DefaultRepairTol: *repairTol,
+		FlightSpans:      *flightSpans,
 	})
 	if err != nil {
 		cliutil.Fatal("routed", err)

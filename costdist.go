@@ -55,6 +55,7 @@ package costdist
 
 import (
 	"context"
+	"io"
 
 	"costdist/internal/buffering"
 	"costdist/internal/chipgen"
@@ -64,6 +65,7 @@ import (
 	"costdist/internal/geom"
 	"costdist/internal/grid"
 	"costdist/internal/nets"
+	"costdist/internal/obs"
 	"costdist/internal/router"
 	"costdist/internal/viz"
 )
@@ -119,6 +121,17 @@ type (
 	RouterState    = router.State
 	RouterNetState = router.NetState
 	PinSig         = nets.PinSig
+
+	// Recorder is the structured-telemetry recorder attached via
+	// RouterOptions.Recorder (nil = zero overhead, bit-identical
+	// results). TelemetrySpan is one recorded span; WaveSnapshot the
+	// per-wave convergence record its OnWave callback streams;
+	// StageNanos one wave's walltime breakdown by pipeline stage
+	// (RouteMetrics.StageNanosPerWave).
+	Recorder      = obs.Recorder
+	TelemetrySpan = obs.Span
+	WaveSnapshot  = obs.WaveSnapshot
+	StageNanos    = router.StageNanos
 
 	// Chip is a generated design; ChipSpec its parameters; Tech the
 	// electrical technology behind the delay model.
@@ -247,6 +260,25 @@ func Evaluate(in *Instance, tr *Tree) (*Evaluation, error) {
 
 // DefaultRouterOptions mirrors the paper's routing setup.
 func DefaultRouterOptions() RouterOptions { return router.DefaultOptions() }
+
+// NewRecorder returns a telemetry recorder for RouterOptions.Recorder.
+// Attaching one populates RouteMetrics.ObjectivePerWave /
+// OverflowPerWave / StageNanosPerWave, captures per-stage spans for
+// WriteTrace, and streams per-wave snapshots through OnWave — all
+// without perturbing the routed result.
+func NewRecorder() *Recorder { return obs.New() }
+
+// WriteTrace renders a recorder's spans as Chrome trace_event JSON,
+// loadable in chrome://tracing or Perfetto (grroute -trace and incbench
+// -trace write these files).
+func WriteTrace(w io.Writer, rec *Recorder) error {
+	return obs.WriteTrace(w, rec.Spans())
+}
+
+// ValidateTrace checks that data is a well-formed Chrome trace_event
+// document as produced by WriteTrace (CI round-trips every written
+// trace through this).
+func ValidateTrace(data []byte) error { return obs.ValidateTrace(data) }
 
 // RouteChip runs the full timing-constrained global routing flow on a
 // chip with the selected Steiner oracle.

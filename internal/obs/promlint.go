@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// LintPromText validates a Prometheus text-format exposition (the
+// /metrics body) for the well-formedness CI asserts: every sample is
+// preceded by a # TYPE declaration for its metric family, histogram
+// families carry _sum, _count and a +Inf bucket for every label set,
+// no series appears twice, and every value parses as a float. It
+// returns the first violation found.
+func LintPromText(data []byte) error {
+	types := map[string]string{}      // family → type
+	seen := map[string]bool{}         // full series (name + labels) → present
+	hasSum := map[string]bool{}       // histogram family → _sum seen
+	hasCount := map[string]bool{}     // histogram family → _count seen
+	bucketInf := map[string]bool{}    // family + non-le labels → +Inf bucket seen
+	bucketGroups := map[string]bool{} // family + non-le labels → any bucket seen
+	histFamilies := map[string]bool{} // histogram families with any sample
+
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 4 && fields[1] == "TYPE" {
+				family := fields[2]
+				if _, dup := types[family]; dup {
+					return fmt.Errorf("line %d: duplicate # TYPE for %s", lineNo, family)
+				}
+				types[family] = fields[3]
+			}
+			continue // HELP and other comments
+		}
+		name, labels, value, err := splitSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		if _, err := strconv.ParseFloat(value, 64); err != nil {
+			return fmt.Errorf("line %d: sample %s has non-numeric value %q", lineNo, name, value)
+		}
+		family, kind, ok := resolveFamily(name, types)
+		if !ok {
+			return fmt.Errorf("line %d: sample %s has no preceding # TYPE", lineNo, name)
+		}
+		series := name + labels
+		if seen[series] {
+			return fmt.Errorf("line %d: duplicate series %s", lineNo, series)
+		}
+		seen[series] = true
+		if kind == "histogram" {
+			histFamilies[family] = true
+			switch {
+			case name == family+"_sum":
+				hasSum[family] = true
+			case name == family+"_count":
+				hasCount[family] = true
+			case name == family+"_bucket":
+				le, rest, err := splitLE(labels)
+				if err != nil {
+					return fmt.Errorf("line %d: %s: %v", lineNo, name, err)
+				}
+				group := family + rest
+				bucketGroups[group] = true
+				if le == "+Inf" {
+					bucketInf[group] = true
+				}
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	for family := range histFamilies {
+		if !hasSum[family] {
+			return fmt.Errorf("histogram %s has no _sum sample", family)
+		}
+		if !hasCount[family] {
+			return fmt.Errorf("histogram %s has no _count sample", family)
+		}
+	}
+	for group := range bucketGroups {
+		if !bucketInf[group] {
+			return fmt.Errorf("histogram buckets %s have no le=\"+Inf\" bucket", group)
+		}
+	}
+	return nil
+}
+
+// splitSample splits a sample line into metric name, the literal label
+// block ("{...}" or ""), and the value text. Timestamps (a second
+// numeric field) are not produced by this module and are rejected.
+func splitSample(line string) (name, labels, value string, err error) {
+	rest := line
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		j := strings.IndexByte(line, '}')
+		if j < i {
+			return "", "", "", fmt.Errorf("unbalanced label braces in %q", line)
+		}
+		name, labels, rest = line[:i], line[i:j+1], strings.TrimSpace(line[j+1:])
+	} else {
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return "", "", "", fmt.Errorf("sample %q is not \"name value\"", line)
+		}
+		return fields[0], "", fields[1], nil
+	}
+	if name == "" || strings.ContainsAny(rest, " \t") {
+		return "", "", "", fmt.Errorf("sample %q is not \"name{labels} value\"", line)
+	}
+	return name, labels, rest, nil
+}
+
+// resolveFamily maps a sample name to its declared metric family:
+// either the name itself, or — for histogram component samples — the
+// name with its _bucket/_sum/_count suffix stripped.
+func resolveFamily(name string, types map[string]string) (family, kind string, ok bool) {
+	if k, ok := types[name]; ok {
+		return name, k, true
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base != name && types[base] == "histogram" {
+			return base, "histogram", true
+		}
+	}
+	return "", "", false
+}
+
+// splitLE extracts the le label from a bucket's label block and returns
+// its value plus the block with le removed (the bucket's group key).
+func splitLE(labels string) (le, rest string, err error) {
+	if len(labels) < 2 || labels[0] != '{' || labels[len(labels)-1] != '}' {
+		return "", "", fmt.Errorf("bucket has no label block")
+	}
+	inner := labels[1 : len(labels)-1]
+	var kept []string
+	for _, part := range strings.Split(inner, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if v, ok := strings.CutPrefix(part, "le="); ok {
+			le, err = strconv.Unquote(v)
+			if err != nil {
+				return "", "", fmt.Errorf("bad le label %q", part)
+			}
+			continue
+		}
+		kept = append(kept, part)
+	}
+	if le == "" {
+		return "", "", fmt.Errorf("bucket label block %s has no le", labels)
+	}
+	return le, "{" + strings.Join(kept, ",") + "}", nil
+}

@@ -1,0 +1,71 @@
+package obs
+
+import "sync"
+
+// Ring is the flight recorder: a fixed-size ring of recent spans a
+// server keeps across jobs, dumped at /debug/obs for post-hoc triage of
+// slow requests. Unlike a Recorder it is shared and long-lived, so
+// every method locks.
+type Ring struct {
+	mu    sync.Mutex
+	buf   []Span
+	next  int
+	full  bool
+	total int64
+}
+
+// DefaultRingSpans is the flight recorder's default capacity.
+const DefaultRingSpans = 4096
+
+// NewRing returns a ring retaining the last capacity spans (≤ 0 takes
+// the default).
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = DefaultRingSpans
+	}
+	return &Ring{buf: make([]Span, capacity)}
+}
+
+// Add appends spans, overwriting the oldest beyond capacity.
+func (r *Ring) Add(spans []Span) {
+	if r == nil || len(spans) == 0 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.total += int64(len(spans))
+	// Only the last cap(buf) spans of a large batch can survive.
+	if len(spans) > len(r.buf) {
+		spans = spans[len(spans)-len(r.buf):]
+	}
+	for _, s := range spans {
+		r.buf[r.next] = s
+		r.next++
+		if r.next == len(r.buf) {
+			r.next, r.full = 0, true
+		}
+	}
+}
+
+// Snapshot returns the retained spans oldest-first and the total number
+// ever added.
+func (r *Ring) Snapshot() (spans []Span, total int64) {
+	if r == nil {
+		return nil, 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.full {
+		spans = append(spans, r.buf[r.next:]...)
+	}
+	spans = append(spans, r.buf[:r.next]...)
+	return spans, r.total
+}
+
+// Capacity reports the ring's span capacity.
+func (r *Ring) Capacity() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.buf)
+}

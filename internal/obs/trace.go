@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// traceEvent is one Chrome trace_event record ("X" = complete event).
+// Timestamps and durations are microseconds, per the trace-event spec.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// traceFile is the trace_event JSON object format, loadable by
+// chrome://tracing and Perfetto.
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteTrace renders spans as Chrome trace_event JSON. Worker spans
+// land on track tid = worker+1; serial spans (wave, reprice, replay,
+// checkpoint) on tid 0, so the wave skeleton frames the per-net work.
+// Span order is preserved, so output is a pure function of the input.
+func WriteTrace(w io.Writer, spans []Span) error {
+	tf := traceFile{TraceEvents: make([]traceEvent, 0, len(spans)), DisplayTimeUnit: "ms"}
+	for _, s := range spans {
+		name := s.Stage.String()
+		if s.Oracle != "" {
+			name = name + ":" + s.Oracle
+		}
+		ev := traceEvent{
+			Name: name,
+			Cat:  s.Stage.String(),
+			Ph:   "X",
+			Ts:   float64(s.Start) / 1e3,
+			Dur:  float64(s.Dur) / 1e3,
+			Pid:  1,
+			Tid:  int(s.Worker) + 1,
+		}
+		if s.Wave >= 0 || s.Net >= 0 {
+			ev.Args = map[string]any{}
+			if s.Wave >= 0 {
+				ev.Args["wave"] = s.Wave
+			}
+			if s.Net >= 0 {
+				ev.Args["net"] = s.Net
+			}
+		}
+		tf.TraceEvents = append(tf.TraceEvents, ev)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(tf)
+}
+
+// ValidateTrace checks that data parses as Chrome trace_event JSON in
+// object format with well-formed complete events — the round-trip check
+// CI runs on grroute -trace output.
+func ValidateTrace(data []byte) error {
+	var tf struct {
+		TraceEvents []struct {
+			Name string   `json:"name"`
+			Ph   string   `json:"ph"`
+			Ts   *float64 `json:"ts"`
+			Dur  *float64 `json:"dur"`
+			Pid  *int     `json:"pid"`
+			Tid  *int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &tf); err != nil {
+		return fmt.Errorf("obs: trace does not parse: %w", err)
+	}
+	if tf.TraceEvents == nil {
+		return fmt.Errorf("obs: trace has no traceEvents array")
+	}
+	for i, ev := range tf.TraceEvents {
+		switch {
+		case ev.Name == "":
+			return fmt.Errorf("obs: trace event %d has no name", i)
+		case ev.Ph != "X":
+			return fmt.Errorf("obs: trace event %d (%s) has phase %q, want \"X\"", i, ev.Name, ev.Ph)
+		case ev.Ts == nil || ev.Dur == nil:
+			return fmt.Errorf("obs: trace event %d (%s) lacks ts/dur", i, ev.Name)
+		case *ev.Ts < 0 || *ev.Dur < 0:
+			return fmt.Errorf("obs: trace event %d (%s) has negative ts/dur", i, ev.Name)
+		case ev.Pid == nil || ev.Tid == nil:
+			return fmt.Errorf("obs: trace event %d (%s) lacks pid/tid", i, ev.Name)
+		}
+	}
+	return nil
+}

@@ -4,7 +4,9 @@ import (
 	"time"
 
 	"costdist/internal/cong"
+	"costdist/internal/grid"
 	"costdist/internal/nets"
+	"costdist/internal/obs"
 	"costdist/internal/sta"
 )
 
@@ -63,6 +65,31 @@ type Metrics struct {
 	// it races (so the total exceeds NetsSolved by the pool factor).
 	// Only oracles with at least one solve appear.
 	SolvesByOracle map[string]int64
+
+	// Telemetry series, populated only when Options.Recorder is set
+	// (nil otherwise, so runs without a recorder keep their legacy
+	// metrics row bit-for-bit). ObjectivePerWave and OverflowPerWave
+	// score the solution at each wave barrier under that wave's final
+	// prices and weights — the last entry equals Objective/Overflow —
+	// and are deterministic (pure functions of chip, method, options),
+	// so they participate in wire forms. StageNanosPerWave is the
+	// wave's wall-clock breakdown by pipeline stage; like Walltime it
+	// is nondeterministic and is excluded from every wire form.
+	ObjectivePerWave  []float64
+	OverflowPerWave   []float64
+	StageNanosPerWave []StageNanos
+}
+
+// StageNanos is one wave's walltime breakdown in nanoseconds. Dirty,
+// Price and Replay are serial stages measured once per wave; Repair and
+// Solve sum across workers, so on multi-threaded runs they can exceed
+// the wave's wall-clock duration (they measure work, not elapsed time).
+type StageNanos struct {
+	Dirty  int64 `json:"dirty_ns"`
+	Price  int64 `json:"price_ns"`
+	Repair int64 `json:"repair_ns"`
+	Solve  int64 `json:"solve_ns"`
+	Replay int64 `json:"replay_ns"`
 }
 
 // Result is the outcome of a routing run.
@@ -95,18 +122,7 @@ func (r *runState) finish() *Result {
 	}
 	// Score the final trees under the final prices and weights — the
 	// common scalar objective both engines are judged on.
-	finalCosts := r.pricer.Costs()
-	for ni, tr := range r.trees {
-		if tr == nil {
-			continue
-		}
-		for _, st := range tr.Steps {
-			res.Metrics.Objective += finalCosts.ArcCost(st.Arc)
-		}
-		for k := range r.delays[ni] {
-			res.Metrics.Objective += r.weights[ni][k] * r.delays[ni][k]
-		}
-	}
+	res.Metrics.Objective = r.objective(r.pricer.Costs())
 	res.Metrics.SolvesByOracle = map[string]int64{}
 	for _, wc := range r.workerCounts {
 		for oi, c := range wc {
@@ -123,5 +139,39 @@ func (r *runState) finish() *Result {
 	res.Metrics.Vias = vias
 	res.Metrics.Overflow = cong.Overflow(r.usage)
 	res.Metrics.Walltime = time.Since(r.start)
+	if r.rec != nil {
+		for _, ws := range r.rec.Waves() {
+			res.Metrics.ObjectivePerWave = append(res.Metrics.ObjectivePerWave, ws.Objective)
+			res.Metrics.OverflowPerWave = append(res.Metrics.OverflowPerWave, ws.Overflow)
+			res.Metrics.StageNanosPerWave = append(res.Metrics.StageNanosPerWave, StageNanos{
+				Dirty:  ws.StageNanos[obs.StageDirty],
+				Price:  ws.StageNanos[obs.StagePrice],
+				Repair: ws.StageNanos[obs.StageRepair],
+				Solve:  ws.StageNanos[obs.StageSolve],
+				Replay: ws.StageNanos[obs.StageReplay],
+			})
+		}
+	}
 	return res
+}
+
+// objective scores the current trees under the given congestion costs
+// plus the weighted sink delays under the current weights — objective
+// (1) of the paper. finish() and the per-wave telemetry snapshots share
+// it, summing in identical order, so the last ObjectivePerWave entry
+// equals the final Metrics.Objective bit-for-bit.
+func (r *runState) objective(costs *grid.Costs) float64 {
+	var obj float64
+	for ni, tr := range r.trees {
+		if tr == nil {
+			continue
+		}
+		for _, st := range tr.Steps {
+			obj += costs.ArcCost(st.Arc)
+		}
+		for k := range r.delays[ni] {
+			obj += r.weights[ni][k] * r.delays[ni][k]
+		}
+	}
+	return obj
 }

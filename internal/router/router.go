@@ -27,6 +27,7 @@ import (
 	"costdist/internal/chipgen"
 	"costdist/internal/core"
 	"costdist/internal/nets"
+	"costdist/internal/obs"
 	"costdist/internal/oracle"
 	"costdist/internal/reembed"
 )
@@ -174,6 +175,15 @@ type Options struct {
 	// validate) it. A zero CriticalWeight derives the threshold from
 	// WeightBase (see oracle.Selection).
 	Selection SelectionOptions
+
+	// Recorder, when non-nil, captures structured telemetry: per-stage
+	// spans (dirty scan, repair, solve, replay, reprice, checkpoint)
+	// and per-wave convergence snapshots, and populates the
+	// Metrics.*PerWave telemetry series. The nil default is
+	// zero-overhead, and recording never perturbs the computation —
+	// routed trees and all non-telemetry metrics are bit-identical with
+	// and without a recorder (locked by TestRecorderDoesNotPerturbRoute).
+	Recorder *obs.Recorder
 }
 
 // SelectionOptions configures per-net adaptive oracle selection and

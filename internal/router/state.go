@@ -9,6 +9,7 @@ import (
 	"costdist/internal/geom"
 	"costdist/internal/grid"
 	"costdist/internal/nets"
+	"costdist/internal/obs"
 	"costdist/internal/sta"
 )
 
@@ -127,6 +128,8 @@ func (st *State) CompatibleWith(g *grid.Graph) error {
 // so the State stays valid however the caller's chips and results are
 // used afterwards.
 func (r *runState) Checkpoint() *State {
+	cpT0 := r.rec.Now()
+	defer func() { r.rec.Span(obs.StageCheckpoint, -1, -1, "build", cpT0) }()
 	g := r.chip.G
 	nl := r.chip.NL
 	st := &State{

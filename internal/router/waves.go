@@ -15,6 +15,7 @@ import (
 	"costdist/internal/geom"
 	"costdist/internal/grid"
 	"costdist/internal/nets"
+	"costdist/internal/obs"
 	"costdist/internal/oracle"
 	"costdist/internal/reembed"
 	"costdist/internal/sta"
@@ -55,6 +56,12 @@ type runState struct {
 	usage *cong.Usage
 	res   *Result
 	start time.Time
+
+	// rec is the optional telemetry recorder (nil = zero overhead);
+	// wkObs are its per-worker span buffers, indexed by worker. Both
+	// come from Options.Recorder and never influence routing decisions.
+	rec   *obs.Recorder
+	wkObs []*obs.Worker
 
 	// warm marks a warm-started run (RouteFrom): its first wave solves
 	// only the seeded dirty set, and a wave that solved zero nets skips
@@ -161,6 +168,10 @@ func newRun(ctx context.Context, chip *chipgen.Chip, m Method, opt Options, pool
 	for i := range r.workerCounts {
 		r.workerCounts[i] = make([]int64, len(drv.names))
 	}
+	if opt.Recorder != nil {
+		r.rec = opt.Recorder
+		r.wkObs = r.rec.Workers(r.threads)
+	}
 	return r, nil
 }
 
@@ -173,11 +184,13 @@ func (r *runState) runWaves() error {
 	nl := chip.NL
 	nNets := len(nl.Nets)
 	threads := r.threads
+	rec := r.rec
 
 	for wave := 0; wave < opt.Waves; wave++ {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
+		waveT0 := rec.Now()
 		costs := r.pricer.Costs()
 		capture := wave == opt.CaptureWave
 
@@ -188,7 +201,9 @@ func (r *runState) runWaves() error {
 			// repriced or whose timing inputs drifted. Wave 0 marks every
 			// net dirty (nothing has been solved yet); a warm-started run
 			// instead seeds wave 0 with the instance diff.
+			dirtyT0 := rec.Now()
 			work, deltaSegs = r.inc.computeDirty(costs, r.trees, r.weights, r.budgets)
+			rec.Span(obs.StageDirty, int32(wave), -1, "", dirtyT0)
 		}
 		nWork := len(work)
 
@@ -209,6 +224,17 @@ func (r *runState) runWaves() error {
 			wg.Add(1)
 			go func(worker int) {
 				defer wg.Done()
+				// The telemetry sink: nil unless a recorder is attached,
+				// so the unrecorded hot path pays one pointer check per
+				// guarded site. The reembed scratch's sink is re-pointed
+				// every wave (and cleared on unrecorded runs — pools
+				// persist across runs, so a stale sink must not leak).
+				var wk *obs.Worker
+				if rec != nil {
+					wk = r.wkObs[worker]
+					wk.Wave = int32(wave)
+				}
+				r.pool.re[worker].Obs = wk
 				// Each worker solves through its own arena; results are
 				// unchanged (solves are per-instance deterministic) while
 				// per-net solver allocations disappear. Any caller-provided
@@ -219,7 +245,7 @@ func (r *runState) runWaves() error {
 				// Ctx lets the exact tier abandon a label search mid-solve
 				// on cancellation, tightening the kill latency below one
 				// full exact solve.
-				env := oracle.Env{Core: wopt.CoreOpt, PDAlpha: opt.PDAlpha, SLEps: opt.SLEps, LBif: r.lbif, Ctx: ctx}
+				env := oracle.Env{Core: wopt.CoreOpt, PDAlpha: opt.PDAlpha, SLEps: opt.SLEps, LBif: r.lbif, Ctx: ctx, Rec: wk}
 				for {
 					// The cancellation point of the hot loop: one check per
 					// net claim, so a kill takes effect within one solve.
@@ -238,13 +264,34 @@ func (r *runState) runWaves() error {
 						// under the current prices. Adopted repairs skip
 						// the oracle (and the capture hook — they are not
 						// fresh solves); failures fall through to one.
+						var repT0 int64
+						if wk != nil {
+							repT0 = wk.Now()
+						}
 						if r.tryRepair(ni, worker, in) {
+							if wk != nil {
+								wk.Span(obs.StageRepair, int32(ni), "adopted", repT0)
+							}
 							workerRepaired[worker]++
 							continue
 						}
+						if wk != nil {
+							wk.Span(obs.StageRepair, int32(ni), "escalated", repT0)
+						}
 						workerEscalated[worker]++
 					}
+					var solveT0 int64
+					if wk != nil {
+						solveT0 = wk.Now()
+					}
 					tr, oi, ev, err := drv.solve(in, &env, r.workerCounts[worker])
+					if wk != nil {
+						name := ""
+						if oi >= 0 && oi < len(drv.names) {
+							name = drv.names[oi]
+						}
+						wk.Span(obs.StageSolve, int32(ni), name, solveT0)
+					}
 					if err != nil {
 						if workerErr[worker] == nil {
 							workerErr[worker] = fmt.Errorf("net %d: %w", ni, err)
@@ -288,6 +335,7 @@ func (r *runState) runWaves() error {
 				return err
 			}
 		}
+		replayT0 := rec.Now()
 		if r.inc == nil {
 			r.usage = cong.NewUsage(g)
 			for _, wu := range workerUsage {
@@ -302,6 +350,7 @@ func (r *runState) runWaves() error {
 			r.usage = cong.NewUsage(g)
 			r.inc.replayUsage(r.usage, r.trees)
 		}
+		rec.Span(obs.StageReplay, int32(wave), -1, "", replayT0)
 		nRepaired, nEscalated := 0, 0
 		for w := 0; w < threads; w++ {
 			nRepaired += workerRepaired[w]
@@ -329,45 +378,64 @@ func (r *runState) runWaves() error {
 		// Lagrangean updates rather than drift the restored equilibrium.
 		// This is what makes a zero-perturbation warm start reproduce
 		// the checkpointed objective exactly. Cold waves always update.
-		if r.warm && nWork == 0 {
-			continue
+		if !(r.warm && nWork == 0) {
+			// Lagrangean updates: congestion prices, delay weights and the
+			// globally optimized per-sink delay budgets (routed delay plus
+			// the slack the endpoint can still afford) consumed by the
+			// shallow-light baseline, per ref [13]. When another incremental
+			// wave follows, the price update and the delta tracker's drift
+			// sweep fuse into one pass and the result is stashed for that
+			// wave's computeDirty; the last wave prices plainly, leaving the
+			// tracker exactly as the unfused engine would.
+			priceT0 := rec.Now()
+			if r.inc != nil && wave+1 < opt.Waves {
+				rects, segs := r.pricer.UpdateTracked(r.inc.tracker, r.usage)
+				r.inc.stashDelta(rects, segs)
+			} else {
+				r.pricer.Update(r.usage)
+			}
+			timing := sta.Analyze(nl, func(n, k int) float64 { return r.delays[n][k] }, chip.ClkPeriod)
+			for ni := range nl.Nets {
+				if r.budgets[ni] == nil {
+					r.budgets[ni] = make([]float64, len(nl.Nets[ni].Sinks))
+				}
+				for k := range nl.Nets[ni].Sinks {
+					slack := timing.PinSlack(ni, k)
+					w := r.weights[ni][k] * math.Exp(-slack/opt.WeightTau)
+					if w < opt.WeightBase {
+						w = opt.WeightBase
+					}
+					if w > opt.WeightMax {
+						w = opt.WeightMax
+					}
+					r.weights[ni][k] = w
+					b := r.delays[ni][k] + slack
+					if b < 0 {
+						b = 0
+					}
+					r.budgets[ni][k] = b
+				}
+			}
+			rec.Span(obs.StagePrice, int32(wave), -1, "", priceT0)
 		}
 
-		// Lagrangean updates: congestion prices, delay weights and the
-		// globally optimized per-sink delay budgets (routed delay plus
-		// the slack the endpoint can still afford) consumed by the
-		// shallow-light baseline, per ref [13]. When another incremental
-		// wave follows, the price update and the delta tracker's drift
-		// sweep fuse into one pass and the result is stashed for that
-		// wave's computeDirty; the last wave prices plainly, leaving the
-		// tracker exactly as the unfused engine would.
-		if r.inc != nil && wave+1 < opt.Waves {
-			rects, segs := r.pricer.UpdateTracked(r.inc.tracker, r.usage)
-			r.inc.stashDelta(rects, segs)
-		} else {
-			r.pricer.Update(r.usage)
-		}
-		timing := sta.Analyze(nl, func(n, k int) float64 { return r.delays[n][k] }, chip.ClkPeriod)
-		for ni := range nl.Nets {
-			if r.budgets[ni] == nil {
-				r.budgets[ni] = make([]float64, len(nl.Nets[ni].Sinks))
-			}
-			for k := range nl.Nets[ni].Sinks {
-				slack := timing.PinSlack(ni, k)
-				w := r.weights[ni][k] * math.Exp(-slack/opt.WeightTau)
-				if w < opt.WeightBase {
-					w = opt.WeightBase
-				}
-				if w > opt.WeightMax {
-					w = opt.WeightMax
-				}
-				r.weights[ni][k] = w
-				b := r.delays[ni][k] + slack
-				if b < 0 {
-					b = 0
-				}
-				r.budgets[ni][k] = b
-			}
+		// The wave barrier's telemetry snapshot: merge the worker span
+		// buffers (deterministic worker order), score the solution under
+		// the wave's final prices and weights — on the last wave this is
+		// exactly what finish() reports — and fire the streaming
+		// callback. Quiesced warm waves snapshot too (≥ 1 event per
+		// wave), they just score unchanged state.
+		if rec != nil {
+			rec.Span(obs.StageWave, int32(wave), -1, "", waveT0)
+			rec.EndWave(obs.WaveSnapshot{
+				Wave:      wave,
+				Objective: r.objective(r.pricer.Costs()),
+				Overflow:  cong.Overflow(r.usage),
+				Solved:    nWork - nRepaired,
+				Skipped:   nNets - nWork,
+				Repaired:  nRepaired,
+				Escalated: nEscalated,
+			})
 		}
 	}
 	return nil

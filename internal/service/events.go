@@ -1,0 +1,232 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"costdist/internal/obs"
+)
+
+// maxEventHistory bounds a job's retained event history. Route jobs emit
+// one wave event per wave (≤ maxRouteWaves) plus one terminal event, so
+// the bound is never hit in practice; it exists so a misbehaving
+// publisher cannot grow a job's history without limit. Overflow drops
+// the oldest events (counted, and reported to late subscribers).
+const maxEventHistory = 256
+
+// sseEvent is one server-sent event: a name ("wave" or "done") and a
+// JSON data payload.
+type sseEvent struct {
+	name string
+	data []byte
+}
+
+// jobEvents is a job's broadcast buffer for server-sent events. The
+// publisher (the route worker's OnWave callback) appends under a short
+// critical section and never blocks: subscribers are notified through
+// non-blocking sends on buffered channels and read the history at their
+// own pace through a cursor. A slow or disconnected subscriber therefore
+// stalls only its own handler goroutine, never the wave loop — the
+// property the SSE tests enforce.
+//
+// jobEvents has its own mutex and never touches job.mu, so job.terminate
+// may publish the terminal event without lock-order concerns.
+type jobEvents struct {
+	mu     sync.Mutex
+	base   int // sequence number of hist[0]
+	hist   []sseEvent
+	closed bool
+	subs   map[chan struct{}]struct{}
+}
+
+func newJobEvents() *jobEvents {
+	return &jobEvents{subs: make(map[chan struct{}]struct{})}
+}
+
+// waveEvent is the JSON payload of one "wave" SSE frame: the per-wave
+// convergence snapshot. StageNs carries wall-clock stage times and is
+// telemetry only — it never enters cached results.
+type waveEvent struct {
+	Wave      int              `json:"wave"`
+	Objective float64          `json:"objective"`
+	Overflow  float64          `json:"overflow"`
+	Solved    int              `json:"solved"`
+	Skipped   int              `json:"skipped"`
+	Repaired  int              `json:"repaired"`
+	Escalated int              `json:"escalated"`
+	StageNs   map[string]int64 `json:"stage_ns,omitempty"`
+}
+
+// doneEvent is the JSON payload of the terminal "done" SSE frame. For a
+// successful job Metrics is the metrics section of the stored result —
+// the SSE tests check it matches GET /v1/jobs/{id}/result exactly.
+type doneEvent struct {
+	Status  JobStatus       `json:"status"`
+	Error   string          `json:"error,omitempty"`
+	Metrics json.RawMessage `json:"metrics,omitempty"`
+}
+
+// publishWave appends a wave snapshot to the history and wakes
+// subscribers. Called from the router's OnWave callback on the wave
+// barrier, so it must stay cheap and must never block.
+func (e *jobEvents) publishWave(ws obs.WaveSnapshot) {
+	stage := make(map[string]int64, obs.NumStages)
+	for st := obs.Stage(0); int(st) < obs.NumStages; st++ {
+		if ns := ws.StageNanos[st]; ns > 0 {
+			stage[st.String()] = ns
+		}
+	}
+	data, err := json.Marshal(waveEvent{
+		Wave: ws.Wave, Objective: ws.Objective, Overflow: ws.Overflow,
+		Solved: ws.Solved, Skipped: ws.Skipped,
+		Repaired: ws.Repaired, Escalated: ws.Escalated, StageNs: stage,
+	})
+	if err != nil {
+		return
+	}
+	e.publish(sseEvent{name: "wave", data: data})
+}
+
+// finish appends the terminal event and closes the stream. For done
+// jobs the metrics section is lifted verbatim from the stored result so
+// the final event agrees byte-for-byte with the result endpoint.
+func (e *jobEvents) finish(st JobStatus, result []byte, errMsg string) {
+	ev := doneEvent{Status: st, Error: errMsg}
+	if st == JobDone && len(result) > 0 {
+		var res struct {
+			Metrics json.RawMessage `json:"metrics"`
+		}
+		if json.Unmarshal(result, &res) == nil {
+			ev.Metrics = res.Metrics
+		}
+	}
+	data, err := json.Marshal(ev)
+	if err != nil {
+		data = []byte(`{"status":"` + string(st) + `"}`)
+	}
+	e.mu.Lock()
+	if !e.closed {
+		e.appendLocked(sseEvent{name: "done", data: data})
+		e.closed = true
+		e.notifyLocked()
+	}
+	e.mu.Unlock()
+}
+
+func (e *jobEvents) publish(ev sseEvent) {
+	e.mu.Lock()
+	if !e.closed {
+		e.appendLocked(ev)
+		e.notifyLocked()
+	}
+	e.mu.Unlock()
+}
+
+func (e *jobEvents) appendLocked(ev sseEvent) {
+	e.hist = append(e.hist, ev)
+	if len(e.hist) > maxEventHistory {
+		drop := len(e.hist) - maxEventHistory
+		e.base += drop
+		e.hist = append(e.hist[:0:0], e.hist[drop:]...)
+	}
+}
+
+// notifyLocked wakes every subscriber with a non-blocking send; a
+// subscriber that already has a pending wake-up needs no second one (it
+// reads the whole history tail when it drains).
+func (e *jobEvents) notifyLocked() {
+	for ch := range e.subs {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// subscribe registers a wake-up channel; the caller reads events with
+// since and must unsubscribe when done.
+func (e *jobEvents) subscribe() chan struct{} {
+	ch := make(chan struct{}, 1)
+	e.mu.Lock()
+	e.subs[ch] = struct{}{}
+	e.mu.Unlock()
+	return ch
+}
+
+func (e *jobEvents) unsubscribe(ch chan struct{}) {
+	e.mu.Lock()
+	delete(e.subs, ch)
+	e.mu.Unlock()
+}
+
+// since returns the events at sequence ≥ cursor, the cursor to resume
+// from, how many events the subscriber missed to history overflow, and
+// whether the stream is closed (no further events will be published).
+func (e *jobEvents) since(cursor int) (evs []sseEvent, next int, missed int, closed bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if cursor < e.base {
+		missed = e.base - cursor
+		cursor = e.base
+	}
+	if off := cursor - e.base; off < len(e.hist) {
+		evs = append(evs, e.hist[off:]...)
+	}
+	return evs, e.base + len(e.hist), missed, e.closed
+}
+
+// handleJobEvents streams a job's per-wave telemetry as server-sent
+// events: one "wave" event per routing wave and a final "done" event
+// carrying the result's metrics section (or the failure). Subscribers
+// may attach at any time — the full history is replayed first, so a
+// consumer that connects after completion still receives every event.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		s.httpError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		s.httpError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	s.met.sseSubscribers.Add(1)
+	defer s.met.sseSubscribers.Add(-1)
+	sub := job.events.subscribe()
+	defer job.events.unsubscribe(sub)
+
+	cursor := 0
+	for {
+		evs, next, missed, closed := job.events.since(cursor)
+		cursor = next
+		if missed > 0 {
+			s.met.sseDropped.Add(int64(missed))
+			fmt.Fprintf(w, ": %d events dropped (history overflow)\n\n", missed)
+		}
+		for _, ev := range evs {
+			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.name, ev.data)
+			s.met.sseEvents.Add(1)
+		}
+		if len(evs) > 0 || missed > 0 {
+			fl.Flush()
+		}
+		if closed {
+			return
+		}
+		select {
+		case <-sub:
+		case <-r.Context().Done():
+			return
+		case <-s.ctx.Done():
+			return
+		}
+	}
+}

@@ -43,6 +43,9 @@ type job struct {
 	// taking the registry lock here would invert the registry→job lock
 	// order used by eviction).
 	retained *atomic.Int64
+	// events is the job's SSE broadcast buffer (per-wave snapshots plus
+	// the terminal event). It has its own mutex and never takes j.mu.
+	events *jobEvents
 
 	mu       sync.Mutex
 	status   JobStatus
@@ -80,8 +83,8 @@ func (j *job) finishShared(s JobStatus, result []byte, errMsg string) {
 
 func (j *job) terminate(s JobStatus, result []byte, errMsg string, charge int64) {
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	if j.status.terminal() {
+		j.mu.Unlock()
 		return
 	}
 	j.status = s
@@ -92,6 +95,11 @@ func (j *job) terminate(s JobStatus, result []byte, errMsg string, charge int64)
 	j.retained.Add(charge)
 	close(j.done)
 	j.cancel()
+	j.mu.Unlock()
+	// Publish the terminal SSE event outside j.mu: extracting the
+	// metrics section parses the (possibly large) result body, and the
+	// events buffer has its own lock.
+	j.events.finish(s, result, errMsg)
 }
 
 // view snapshots the job for handlers.
@@ -149,6 +157,7 @@ func (r *jobRegistry) create(base context.Context, ckey string) *job {
 		cancel:   cancel,
 		done:     make(chan struct{}),
 		retained: &r.termBytes,
+		events:   newJobEvents(),
 		status:   JobQueued,
 		created:  time.Now(),
 	}

@@ -7,6 +7,8 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+
+	"costdist/internal/obs"
 )
 
 // latencyBuckets are the fixed histogram bucket bounds in seconds.
@@ -30,6 +32,12 @@ func newHistogram() *histogram {
 }
 
 func (h *histogram) Observe(seconds float64) {
+	// Buckets are cumulative in the Prometheus exposition: counts[i] is
+	// the number of observations ≤ latencyBuckets[i], so one observation
+	// must increment EVERY bucket whose bound it fits under — no early
+	// exit after the first match. That keeps bucket counts monotone
+	// nondecreasing in i and each ≤ the total count (locked by
+	// TestHistogramCumulativeBuckets).
 	for i, b := range latencyBuckets {
 		if seconds <= b {
 			h.counts[i].Add(1)
@@ -38,8 +46,8 @@ func (h *histogram) Observe(seconds float64) {
 	h.count.Add(1)
 	for {
 		old := h.sumBits.Load()
-		new := math.Float64bits(math.Float64frombits(old) + seconds)
-		if h.sumBits.CompareAndSwap(old, new) {
+		nb := math.Float64bits(math.Float64frombits(old) + seconds)
+		if h.sumBits.CompareAndSwap(old, nb) {
 			return
 		}
 	}
@@ -68,19 +76,80 @@ type metrics struct {
 	checkpointRawBytes atomic.Int64
 	checkpointGzBytes  atomic.Int64
 
+	// sseSubscribers gauges the currently connected event-stream
+	// consumers; sseEvents/sseDropped count frames delivered and events
+	// a subscriber missed to history overflow.
+	sseSubscribers atomic.Int64
+	sseEvents      atomic.Int64
+	sseDropped     atomic.Int64
+
 	solveLatency *histogram // time-to-response of /v1/solve (hits and misses)
 	jobLatency   *histogram // run time of route jobs
 
 	mu       sync.Mutex
 	byOracle map[string]int64 // oracle/driver solve counts
+	// oracleLatency histograms per-net solve latency by oracle name;
+	// stageLatency histograms per-wave stage walltime by stage name.
+	// Both fed from route-job telemetry recorders.
+	oracleLatency map[string]*histogram
+	stageLatency  map[string]*histogram
 }
 
 func newMetrics() *metrics {
 	return &metrics{
-		solveLatency: newHistogram(),
-		jobLatency:   newHistogram(),
-		byOracle:     map[string]int64{},
+		solveLatency:  newHistogram(),
+		jobLatency:    newHistogram(),
+		byOracle:      map[string]int64{},
+		oracleLatency: map[string]*histogram{},
+		stageLatency:  map[string]*histogram{},
 	}
+}
+
+// observeOracleSolve records one per-net solve latency under the
+// oracle's name.
+func (m *metrics) observeOracleSolve(name string, seconds float64) {
+	m.mu.Lock()
+	h := m.oracleLatency[name]
+	if h == nil {
+		h = newHistogram()
+		m.oracleLatency[name] = h
+	}
+	m.mu.Unlock()
+	h.Observe(seconds)
+}
+
+// observeWaveStages records one wave's per-stage walltimes from a wave
+// snapshot. Called from the router's OnWave callback, so it stays cheap
+// (one map lookup and a few atomic adds per stage).
+func (m *metrics) observeWaveStages(ws obs.WaveSnapshot) {
+	for st := obs.Stage(0); int(st) < obs.NumStages; st++ {
+		ns := ws.StageNanos[st]
+		if ns <= 0 || st == obs.StageWave {
+			continue
+		}
+		name := st.String()
+		m.mu.Lock()
+		h := m.stageLatency[name]
+		if h == nil {
+			h = newHistogram()
+			m.stageLatency[name] = h
+		}
+		m.mu.Unlock()
+		h.Observe(float64(ns) / 1e9)
+	}
+}
+
+// labeledHistograms snapshots one of the name→histogram maps for
+// rendering (the histograms themselves are concurrency-safe; only the
+// map needs the lock).
+func (m *metrics) labeledHistograms(which map[string]*histogram) map[string]*histogram {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]*histogram, len(which))
+	for k, v := range which {
+		out[k] = v
+	}
+	return out
 }
 
 // chargeOracle adds per-oracle solve counts (from RouteMetrics, or one
@@ -160,26 +229,67 @@ func renderMetrics(m *metrics, cs, cps CacheStats, queueDepth int, jobs map[stri
 		add("routed_jobs{status=%q} %d\n", st, jobs[st])
 	}
 
+	add("# TYPE routed_sse_subscribers gauge\n")
+	add("routed_sse_subscribers %d\n", m.sseSubscribers.Load())
+	add("# TYPE routed_sse_events_total counter\n")
+	add("routed_sse_events_total %d\n", m.sseEvents.Load())
+	add("# TYPE routed_sse_dropped_events_total counter\n")
+	add("routed_sse_dropped_events_total %d\n", m.sseDropped.Load())
+
 	add("# TYPE routed_solves_total counter\n")
 	counts := m.oracleCounts()
 	for _, name := range sortedKeysI64(counts) {
 		add("routed_solves_total{oracle=%q} %d\n", name, counts[name])
 	}
 
-	renderHistogram(&b, "routed_solve_latency_seconds", m.solveLatency)
-	renderHistogram(&b, "routed_job_latency_seconds", m.jobLatency)
+	renderHistogram(&b, "routed_solve_latency_seconds", "", m.solveLatency)
+	renderHistogram(&b, "routed_job_latency_seconds", "", m.jobLatency)
+	renderLabeledHistograms(&b, "routed_oracle_solve_latency_seconds", "oracle",
+		m.labeledHistograms(m.oracleLatency))
+	renderLabeledHistograms(&b, "routed_wave_stage_seconds", "stage",
+		m.labeledHistograms(m.stageLatency))
 	return string(b)
 }
 
-func renderHistogram(b *[]byte, name string, h *histogram) {
-	*b = append(*b, fmt.Sprintf("# TYPE %s histogram\n", name)...)
-	for i, bound := range latencyBuckets {
-		*b = append(*b, fmt.Sprintf("%s_bucket{le=%q} %d\n",
-			name, strconv.FormatFloat(bound, 'g', -1, 64), h.counts[i].Load())...)
+// renderHistogram writes one histogram family. labels, when non-empty,
+// is a preformatted `key="value"` list prefixed to every series' label
+// set (including _sum/_count, which Prometheus permits and the lint
+// check in internal/obs accepts as the same family).
+func renderHistogram(b *[]byte, name, labels string, h *histogram) {
+	if labels == "" {
+		*b = append(*b, fmt.Sprintf("# TYPE %s histogram\n", name)...)
 	}
-	*b = append(*b, fmt.Sprintf("%s_bucket{le=\"+Inf\"} %d\n", name, h.count.Load())...)
+	sep := ""
+	if labels != "" {
+		sep = labels + ","
+	}
+	for i, bound := range latencyBuckets {
+		*b = append(*b, fmt.Sprintf("%s_bucket{%sle=%q} %d\n",
+			name, sep, strconv.FormatFloat(bound, 'g', -1, 64), h.counts[i].Load())...)
+	}
+	*b = append(*b, fmt.Sprintf("%s_bucket{%sle=\"+Inf\"} %d\n", name, sep, h.count.Load())...)
+	if labels != "" {
+		*b = append(*b, fmt.Sprintf("%s_sum{%s} %g\n", name, labels, math.Float64frombits(h.sumBits.Load()))...)
+		*b = append(*b, fmt.Sprintf("%s_count{%s} %d\n", name, labels, h.count.Load())...)
+		return
+	}
 	*b = append(*b, fmt.Sprintf("%s_sum %g\n", name, math.Float64frombits(h.sumBits.Load()))...)
 	*b = append(*b, fmt.Sprintf("%s_count %d\n", name, h.count.Load())...)
+}
+
+// renderLabeledHistograms writes one histogram family with one series
+// group per label value (sorted, so the exposition is deterministic).
+// An empty map still declares the family so dashboards can discover it.
+func renderLabeledHistograms(b *[]byte, name, labelKey string, hs map[string]*histogram) {
+	*b = append(*b, fmt.Sprintf("# TYPE %s histogram\n", name)...)
+	keys := make([]string, 0, len(hs))
+	for k := range hs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		renderHistogram(b, name, fmt.Sprintf("%s=%q", labelKey, k), hs[k])
+	}
 }
 
 func sortedKeys(m map[string]int) []string {

@@ -13,9 +13,11 @@
 //	POST   /v1/route            start a chip routing job (async, 202)
 //	GET    /v1/jobs/{id}        job status
 //	GET    /v1/jobs/{id}/result job result (200 once done)
+//	GET    /v1/jobs/{id}/events per-wave telemetry stream (SSE)
 //	DELETE /v1/jobs/{id}        cancel a job
 //	GET    /healthz             liveness + queue depth
 //	GET    /metrics             Prometheus text metrics
+//	GET    /debug/obs           flight-recorder span dump (JSON)
 package service
 
 import (
@@ -34,6 +36,7 @@ import (
 	"time"
 
 	"costdist"
+	"costdist/internal/obs"
 )
 
 // maxBodyBytes bounds request bodies; instances big enough to exceed it
@@ -91,6 +94,10 @@ type Config struct {
 	// own repair_tol (see RouteRequest.RepairTol). The zero value keeps
 	// the rung off, matching the library default.
 	DefaultRepairTol float64
+	// FlightSpans caps the flight-recorder ring holding the most recent
+	// telemetry spans across all route jobs, dumped at GET /debug/obs.
+	// Default: obs.DefaultRingSpans.
+	FlightSpans int
 }
 
 func (c Config) withDefaults() Config {
@@ -118,6 +125,9 @@ func (c Config) withDefaults() Config {
 	if c.DefaultMethod == "" {
 		c.DefaultMethod = "cd"
 	}
+	if c.FlightSpans <= 0 {
+		c.FlightSpans = obs.DefaultRingSpans
+	}
 	return c
 }
 
@@ -138,9 +148,12 @@ type Server struct {
 	pool      *pool
 	routePool *pool
 	met       *metrics
-	mux       *http.ServeMux
-	ctx       context.Context // root of every job/task context
-	cancel    context.CancelFunc
+	// flight is the crash-forensics ring: the most recent telemetry
+	// spans of every route job, dumped at GET /debug/obs.
+	flight *obs.Ring
+	mux    *http.ServeMux
+	ctx    context.Context // root of every job/task context
+	cancel context.CancelFunc
 	// inflight maps solve cache keys to a channel closed when the
 	// leading solve for that key completes — concurrent identical
 	// misses wait for the leader instead of re-solving (singleflight).
@@ -166,6 +179,7 @@ func New(cfg Config) (*Server, error) {
 		checkpoints: newResultCache(cfg.CheckpointBytes),
 		jobs:        newJobRegistry(),
 		met:         newMetrics(),
+		flight:      obs.NewRing(cfg.FlightSpans),
 		ctx:         ctx,
 		cancel:      cancel,
 	}
@@ -176,9 +190,11 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/route", s.handleRoute)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /debug/obs", s.handleDebugObs)
 	return s, nil
 }
 
@@ -654,13 +670,40 @@ func (s *Server) runRouteJob(job *job, req RouteRequest, spec costdist.ChipSpec,
 	if st, _, _ := job.view(); st.terminal() {
 		return // cancelled while queued
 	}
-	// A prior leader for this key may have finished while we queued.
-	if cached, ok := s.cache.Recheck(key); ok {
+	// Every route job records structured telemetry: the recorder feeds
+	// the SSE stream and the per-stage histograms live (via OnWave), and
+	// the flight ring plus per-oracle solve-latency histograms at the
+	// end. Recording never changes results — the recorded wire form is
+	// bit-identical to a recorder-less run except for the deterministic
+	// per-wave series (locked by TestRecorderDoesNotPerturbRoute).
+	rec := costdist.NewRecorder()
+	cacheT0 := rec.Now()
+	cached, ok := s.cache.Recheck(key)
+	rec.Span(obs.StageCache, -1, -1, "recheck", cacheT0)
+	if ok {
+		// A prior leader for this key finished while we queued.
 		job.finishShared(JobDone, cached, "")
 		return
 	}
 	job.setStatus(JobRunning)
 	start := time.Now()
+	ropt.Recorder = rec
+	rec.OnWave(func(ws obs.WaveSnapshot) {
+		s.met.observeWaveStages(ws)
+		job.events.publishWave(ws)
+	})
+	defer func() {
+		// Flight-record the job's spans and charge the per-oracle
+		// latency histograms — also for failed and cancelled jobs, where
+		// the partial spans are exactly what triage needs.
+		spans := rec.Spans()
+		s.flight.Add(spans)
+		for _, sp := range spans {
+			if sp.Stage == obs.StageSolve && !sp.Detail && sp.Oracle != "" {
+				s.met.observeOracleSolve(sp.Oracle, float64(sp.Dur)/1e9)
+			}
+		}
+	}()
 	fail := func(err error) {
 		if errors.Is(err, context.Canceled) || job.ctx.Err() != nil {
 			job.finish(JobCancelled, nil, context.Canceled.Error())
@@ -716,7 +759,10 @@ func (s *Server) runRouteJob(job *job, req RouteRequest, spec costdist.ChipSpec,
 		// Checkpoints are stored gzip-compressed: the marshaled state is
 		// mostly repetitive tree-step JSON, so compression multiplies the
 		// number of base jobs the byte budget can retain.
-		if blob, err := costdist.MarshalCheckpoint(cp); err == nil {
+		cpT0 := rec.Now()
+		blob, err := costdist.MarshalCheckpoint(cp)
+		rec.Span(obs.StageCheckpoint, -1, -1, "marshal", cpT0)
+		if err == nil {
 			gz := gzipBytes(blob)
 			s.met.checkpointRawBytes.Add(int64(len(blob)))
 			s.met.checkpointGzBytes.Add(int64(len(gz)))
@@ -835,4 +881,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	_, _ = io.WriteString(w, renderMetrics(s.met, s.cache.Stats(), s.checkpoints.Stats(),
 		s.pool.depth()+s.routePool.depth(), s.jobs.statusCounts()))
+}
+
+// handleDebugObs dumps the flight-recorder ring: the most recent
+// telemetry spans across all route jobs, oldest first, for post-hoc
+// triage of a wedged or slow deployment without having had tracing
+// enabled in advance.
+func (s *Server) handleDebugObs(w http.ResponseWriter, _ *http.Request) {
+	spans, total := s.flight.Snapshot()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"capacity":    s.flight.Capacity(),
+		"total_spans": total,
+		"retained":    len(spans),
+		"spans":       spans,
+	})
 }

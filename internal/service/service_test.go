@@ -221,6 +221,10 @@ func TestRouteJobLifecycleAndByteIdentity(t *testing.T) {
 	opt.Waves = 2
 	opt.Threads = 1
 	opt.Seed = 1
+	// The service routes with a telemetry recorder attached, which adds
+	// the deterministic per-wave series to the wire form; the reference
+	// run records too so the comparison stays byte-exact.
+	opt.Recorder = costdist.NewRecorder()
 	res, err := costdist.RouteChip(chip, costdist.CD, opt)
 	if err != nil {
 		t.Fatal(err)

@@ -109,6 +109,10 @@ func TestRouteWarmStartFromBaseJob(t *testing.T) {
 	opt.Waves = 2
 	opt.Threads = 1
 	opt.Seed = 1
+	// The service records telemetry on every route; the per-wave series
+	// it adds to the wire form are deterministic, so a recorded
+	// reference run reproduces the service bytes exactly.
+	opt.Recorder = costdist.NewRecorder()
 	_, st, err := costdist.RouteChipCheckpoint(chip, costdist.CD, opt)
 	if err != nil {
 		t.Fatal(err)
@@ -117,6 +121,9 @@ func TestRouteWarmStartFromBaseJob(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Fresh recorder for the warm leg — the service creates one per
+	// job, and a reused recorder would accumulate the cold run's waves.
+	opt.Recorder = costdist.NewRecorder()
 	res, _, err := costdist.RouteChipFrom(st, pert, costdist.CD, opt)
 	if err != nil {
 		t.Fatal(err)

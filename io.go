@@ -293,6 +293,16 @@ type RouteMetricsJSON struct {
 	RepairEscalated  int64 `json:"repair_escalated,omitempty"`
 	RepairedPerWave  []int `json:"repaired_per_wave,omitempty"`
 	EscalatedPerWave []int `json:"escalated_per_wave,omitempty"`
+	// Per-wave convergence telemetry, populated only when the run had
+	// a RouterOptions.Recorder (omitempty keeps recorder-less runs —
+	// the default — on their exact legacy wire bytes). These series
+	// are deterministic: pure functions of (chip, method, options),
+	// independent of thread count. StageNanosPerWave is deliberately
+	// NOT serialized — it is wall-clock, nondeterministic like
+	// Walltime, and the wire form must stay a pure function of the
+	// routing outcome (the content-addressed caches depend on it).
+	ObjectivePerWave []float64 `json:"objective_per_wave,omitempty"`
+	OverflowPerWave  []float64 `json:"overflow_per_wave,omitempty"`
 }
 
 // RouteResultJSON is the on-wire form of a full routing run: the
@@ -320,6 +330,8 @@ func routeMetricsJSON(mt RouteMetrics) RouteMetricsJSON {
 		RepairEscalated:  mt.RepairEscalated,
 		RepairedPerWave:  mt.RepairedPerWave,
 		EscalatedPerWave: mt.EscalatedPerWave,
+		ObjectivePerWave: mt.ObjectivePerWave,
+		OverflowPerWave:  mt.OverflowPerWave,
 	}
 }
 
@@ -339,6 +351,8 @@ func routeMetricsFromJSON(f RouteMetricsJSON) RouteMetrics {
 		RepairEscalated:  f.RepairEscalated,
 		RepairedPerWave:  f.RepairedPerWave,
 		EscalatedPerWave: f.EscalatedPerWave,
+		ObjectivePerWave: f.ObjectivePerWave,
+		OverflowPerWave:  f.OverflowPerWave,
 	}
 }
 
